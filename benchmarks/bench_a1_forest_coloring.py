@@ -1,0 +1,12 @@
+"""A1 — ablation: rake-and-compress 3-coloring vs the generic pipeline."""
+
+from repro.experiments.a1_forest_coloring import run_forest_coloring
+
+
+def test_a1_forest_coloring(benchmark, show_table):
+    rows = benchmark.pedantic(run_forest_coloring, rounds=1, iterations=1)
+    show_table(rows, "A1 — forests (α=1): specialized vs generic coloring")
+    for row in rows:
+        assert row["rake_compress_colors"] <= 3, row
+        assert row["rc_max_outdeg"] <= 2, row
+        assert row["generic_colors"] <= row["generic_cap"], row

@@ -1,0 +1,21 @@
+"""A2 — ablation: coin-forwarding horizon (Lemma 4.2 wave depth)."""
+
+from repro.experiments.a2_horizon_ablation import run_horizon_ablation
+
+
+def test_a2_horizon_ablation(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_horizon_ablation, kwargs=dict(beta=3, depth=3), rounds=1, iterations=1
+    )
+    show_table(rows, "A2 — forwarding horizon sensitivity (deep tree root)")
+    by_label = {row["horizon"]: row for row in rows}
+    # Too-short horizons break the progress guarantee...
+    assert not by_label["1"]["certified"]
+    # ...the wave-depth horizon certifies, and the default matches strict
+    # mode exactly (same queries, same explored set size).
+    wave_row = next(r for r in rows if r["horizon"].startswith("wave"))
+    default_row = next(r for r in rows if r["horizon"].startswith("default"))
+    strict_row = next(r for r in rows if r["horizon"].startswith("strict"))
+    assert wave_row["certified"] and default_row["certified"] and strict_row["certified"]
+    assert default_row["queries"] == strict_row["queries"]
+    assert default_row["|S|"] == strict_row["|S|"]

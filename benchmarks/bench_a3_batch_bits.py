@@ -1,0 +1,15 @@
+"""A3 — ablation: derandomization batch width vs MPC rounds."""
+
+from repro.experiments.a3_batch_bits import run_batch_bits
+
+
+def test_a3_batch_bits(benchmark, show_table):
+    rows = benchmark.pedantic(run_batch_bits, rounds=1, iterations=1)
+    show_table(rows, "A3 — Theorem 1.5: batch width vs round/bandwidth trade")
+    # Wider batches strictly reduce rounds and raise message width.
+    rounds = [row["mpc_rounds"] for row in rows]
+    widths = [row["max_msg_words"] for row in rows]
+    assert rounds == sorted(rounds, reverse=True), rounds
+    assert widths == sorted(widths), widths
+    # The palette never depends on the batching.
+    assert len({row["palette"] for row in rows}) == 1

@@ -1,0 +1,12 @@
+"""E11 — substrate: exact arboricity vs bounds, Lemma 3.4, Fact 3.3."""
+
+from repro.experiments.e11_substrate import run_substrate
+
+
+def test_e11_substrate(benchmark, show_table):
+    rows = benchmark.pedantic(run_substrate, rounds=1, iterations=1)
+    show_table(rows, "E11 — arboricity machinery across generator families")
+    for row in rows:
+        assert row["sandwich_ok"], row
+        assert row["lemma_3_4"], row
+        assert row["density_LB"] <= row["alpha_exact"], row

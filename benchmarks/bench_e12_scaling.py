@@ -1,0 +1,15 @@
+"""E12 — wall-clock scaling envelope of the pure-Python harness."""
+
+from repro.experiments.e12_scaling import run_scaling
+
+
+def test_e12_scaling(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_scaling, kwargs=dict(ns=(250, 500, 1000, 2000), alpha=2), rounds=1, iterations=1
+    )
+    show_table(rows, "E12 — wall-clock scaling (model rounds stay flat)")
+    # Model cost flat while n grows 8x.
+    partition_rounds = [row["partition_rounds"] for row in rows]
+    assert max(partition_rounds) - min(partition_rounds) <= 1, partition_rounds
+    for row in rows:
+        assert row["colors"] <= 3 * 2 + 1, row

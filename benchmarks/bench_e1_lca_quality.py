@@ -1,0 +1,18 @@
+"""E1 — Lemma 4.7: LCA queries <= x^6, layered fraction >= paper bound."""
+
+from repro.experiments.e1_lca_quality import run_lca_quality
+
+
+def test_e1_lca_quality(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_lca_quality,
+        kwargs=dict(ns=(200, 400), alphas=(1, 2, 3), xs=(16, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    show_table(rows, "E1 — Lemma 4.7: partial β-partition LCA quality")
+    for row in rows:
+        assert row["meets_bound"], row
+        assert row["subset_valid"], row
+        assert row["max_queries"] <= row["query_cap_x6"], row
+        assert row["max_layer"] <= row["layer_cap"], row

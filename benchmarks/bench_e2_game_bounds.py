@@ -1,0 +1,16 @@
+"""E2 — Lemma 4.6: |S_v| <= x^3 + 1, |E(G[S_v])| <= x^6, connectivity."""
+
+from repro.experiments.e2_game_bounds import run_game_bounds
+
+
+def test_e2_game_bounds(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_game_bounds,
+        kwargs=dict(n=300, alpha=2, xs=(8, 16, 32, 64), num_roots=40),
+        rounds=1,
+        iterations=1,
+    )
+    show_table(rows, "E2 — Lemma 4.6: coin-game footprint bounds")
+    for row in rows:
+        assert row["within_bounds"], row
+        assert row["connected"], row

@@ -1,0 +1,35 @@
+"""E3 — Theorem 1.2: β-partition size and AMPC rounds, both regimes."""
+
+from repro.experiments.e3_theorem12 import run_theorem12, run_theorem12_deep
+
+
+def test_e3_theorem12_regimes(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_theorem12,
+        kwargs=dict(ns=(200, 400, 800), alphas=(2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    show_table(rows, "E3 — Theorem 1.2: β-partitioning (β regimes × game budget)")
+    for row in rows:
+        assert row["valid"], row
+        assert row["acyclic"], row
+        assert row["max_outdeg"] <= row["beta"], row
+        # Size O(log_{β/2α} n): generous constant 3 plus additive slack.
+        assert row["size"] <= 3 * row["log_{b/2a}(n)"] + 2, row
+
+
+def test_e3_theorem12_deep_trees(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_theorem12_deep, kwargs=dict(depths=(2, 3, 4, 5)), rounds=1, iterations=1
+    )
+    show_table(rows, "E3b — Theorem 1.2 on deep (β+1)-ary trees: rounds vs x")
+    # Rounds shrink (weakly) as the game budget x grows, at every depth.
+    by_depth: dict[int, dict[str, int]] = {}
+    for row in rows:
+        by_depth.setdefault(row["depth"], {})[row["x"]] = row["rounds"]
+    for depth, per_x in by_depth.items():
+        assert per_x["x=b+1"] >= per_x["x=(b+1)^2"] >= per_x["x=(b+1)^3"], (
+            depth,
+            per_x,
+        )

@@ -1,0 +1,17 @@
+"""E4 — Theorem 1.3(1): O(α^{2+ε}) colors in O(1/ε) rounds."""
+
+from repro.experiments.e4_coloring_eps import run_coloring_eps
+
+
+def test_e4_coloring_eps(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_coloring_eps,
+        kwargs=dict(n=400, alphas=(2, 3, 4), eps_values=(1.0, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    show_table(rows, "E4 — Theorem 1.3(1): O(α^{2+ε})-coloring")
+    for row in rows:
+        assert row["colors"] <= row["palette"], row
+        # Rounds stay small (the O(1/ε) claim at fixed ε).
+        assert row["rounds"] <= 8 / row["eps"], row

@@ -1,0 +1,19 @@
+"""E5 — Theorem 1.3(2): O(α²) colors in O(log α) rounds."""
+
+from repro.experiments.e5_coloring_quadratic import run_coloring_quadratic
+
+
+def test_e5_coloring_quadratic(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_coloring_quadratic,
+        kwargs=dict(n=400, alphas=(1, 2, 3, 4, 6)),
+        rounds=1,
+        iterations=1,
+    )
+    show_table(rows, "E5 — Theorem 1.3(2): O(α²)-coloring (the quadratic barrier)")
+    for row in rows:
+        assert row["colors"] <= row["palette"], row
+        # The O(α²) shape: palette / α² bounded by a constant once α grows;
+        # small α pay fixed constants (q >= next prime above β).
+        if row["alpha"] >= 4:
+            assert row["palette/a^2"] <= 30, row

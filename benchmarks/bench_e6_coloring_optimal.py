@@ -1,0 +1,15 @@
+"""E6 — Theorem 1.3(3): ((2+ε)α + 1) colors in Õ(α/ε) rounds."""
+
+from repro.experiments.e6_coloring_optimal import run_coloring_optimal
+
+
+def test_e6_coloring_optimal(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_coloring_optimal,
+        kwargs=dict(n=300, alphas=(1, 2, 3), methods=("kw", "mpc")),
+        rounds=1,
+        iterations=1,
+    )
+    show_table(rows, "E6 — Theorem 1.3(3): ((2+ε)α+1)-coloring")
+    for row in rows:
+        assert row["colors"] <= row["cap=(2+e)a+1"], row

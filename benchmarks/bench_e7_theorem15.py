@@ -1,0 +1,14 @@
+"""E7 — Theorem 1.5: deterministic 2xΔ-coloring, log_x n phases."""
+
+from repro.experiments.e7_theorem15 import run_theorem15
+
+
+def test_e7_theorem15(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_theorem15, kwargs=dict(ns=(100, 200), xs=(2, 4, 8)), rounds=1, iterations=1
+    )
+    show_table(rows, "E7 — Theorem 1.5: derandomized MPC coloring")
+    for row in rows:
+        assert row["palette"] <= row["cap_4xDelta"], row
+        assert row["decay>=x"], row
+        assert row["phases"] <= row["log_x(n)"] + 1, row

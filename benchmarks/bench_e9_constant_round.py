@@ -1,0 +1,21 @@
+"""E9 — Corollary 1.4: constant AMPC rounds at fixed α as n grows."""
+
+from repro.experiments.e9_constant_round import run_constant_round
+
+
+def test_e9_constant_round(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_constant_round,
+        kwargs=dict(ns=(100, 200, 400, 800), alpha=2),
+        rounds=1,
+        iterations=1,
+    )
+    show_table(rows, "E9 — Corollary 1.4: rounds vs n at fixed α")
+    for row in rows:
+        assert row["colors"] <= row["cap"], row
+    # Partition rounds flat in n (the constant-round claim).
+    partition_rounds = [row["partition_rounds"] for row in rows]
+    assert max(partition_rounds) - min(partition_rounds) <= 1, partition_rounds
+    # Total rounds must not trend upward with n (simulation-depth constant).
+    totals = [row["total_rounds"] for row in rows]
+    assert totals[-1] <= 2 * max(totals[0], 1), totals

@@ -1,0 +1,15 @@
+"""F1 — Figure 1: layer histogram of a partial β-partition."""
+
+from repro.experiments.f1_layer_histogram import run_layer_histogram
+
+
+def test_f1_layer_histogram(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_layer_histogram, kwargs=dict(n=500, alpha=2, x=27), rounds=1, iterations=1
+    )
+    show_table(rows, "F1 — Figure 1: vertices per layer after one LCA pass")
+    assert sum(row["vertices"] for row in rows) == 500
+    finite = [row for row in rows if row["layer"] != "infinity"]
+    # Figure 1's shape: the vast majority of vertices land in few layers.
+    assert sum(row["fraction"] for row in finite) >= 0.9
+    assert len(finite) <= 6

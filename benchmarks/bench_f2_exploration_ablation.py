@@ -1,0 +1,19 @@
+"""F2 — Figure 2b / §2.1: adaptive forwarding vs naive/BFS/DFS."""
+
+from repro.experiments.f2_exploration_ablation import run_exploration_ablation
+
+
+def test_f2_exploration_ablation(benchmark, show_table):
+    rows = benchmark.pedantic(
+        run_exploration_ablation,
+        kwargs=dict(beta=3, chain_length=4, fan=30, decoy_fan=40),
+        rounds=1,
+        iterations=1,
+    )
+    show_table(rows, "F2 — Figure 2b: exploration strategies on the skewed gadget")
+    by_name = {row["strategy"]: row for row in rows}
+    adaptive = by_name["adaptive_game"]
+    assert adaptive["certifies_layer"], adaptive
+    for loser in ("naive_coins", "bfs", "dfs"):
+        assert not by_name[loser]["certifies_layer"], by_name[loser]
+        assert adaptive["D_coverage"] > by_name[loser]["D_coverage"], loser

@@ -1,0 +1,33 @@
+"""Regenerate every experiment table from EXPERIMENTS.md in one run.
+
+Run with::
+
+    python examples/run_all_experiments.py            # all experiments
+    python examples/run_all_experiments.py E7 F2      # a subset, by prefix
+
+The same tables (same defaults, same seeds) are produced by
+``pytest benchmarks/ --benchmark-only`` with timing attached.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, format_table
+
+
+def main(argv: list[str]) -> None:
+    prefixes = [arg.upper() for arg in argv] or None
+    for name, run in ALL_EXPERIMENTS.items():
+        if prefixes and not any(name.upper().startswith(p) for p in prefixes):
+            continue
+        start = time.perf_counter()
+        rows = run()
+        elapsed = time.perf_counter() - start
+        print(format_table(rows, title=f"{name}   [{elapsed:.1f}s]"))
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

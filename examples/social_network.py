@@ -1,0 +1,55 @@
+"""Coloring a social-network-like graph: the α ≪ Δ regime.
+
+Preferential-attachment graphs model social networks: a few massive hubs,
+but globally sparse (arboricity stays at the link count while the maximum
+degree grows with n).  This is exactly the regime motivating the paper —
+(Δ+1)-family algorithms waste a palette proportional to the hubs' degree,
+while arboricity-dependent coloring needs O(α) colors.
+
+Run with::
+
+    python examples/social_network.py
+"""
+
+from repro import preferential_attachment
+from repro.coloring import (
+    coloring_alpha_squared,
+    coloring_two_plus_eps,
+    deterministic_mpc_coloring,
+)
+from repro.experiments.common import format_table
+from repro.graphs import degeneracy, is_proper_coloring
+
+
+def main() -> None:
+    rows = []
+    for n in (300, 600, 1200):
+        graph = preferential_attachment(n, links=2, seed=7)
+        alpha = max(1, degeneracy(graph))  # upper bound on arboricity
+        delta = graph.max_degree()
+
+        # Delta-family competitor: Theorem 1.5 palette is Θ(Δ).
+        mpc = deterministic_mpc_coloring(graph, x=2)
+        assert is_proper_coloring(graph, mpc.colors)
+
+        # The paper's pipelines.
+        quadratic = coloring_alpha_squared(graph, alpha)
+        optimal = coloring_two_plus_eps(graph, alpha)
+        rows.append(
+            {
+                "n": n,
+                "Delta": delta,
+                "alpha<=": alpha,
+                "MPC 2xΔ palette": mpc.num_colors,
+                "ours α² palette": quadratic.palette_bound,
+                "ours (2+ε)α+1": optimal.num_colors,
+                "rounds (2+ε)α+1": optimal.total_rounds,
+            }
+        )
+    print(format_table(rows, title="Social-network coloring: Δ grows, α does not"))
+    print()
+    print("The Δ-family palette scales with the hubs; the α-family stays flat.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Adaptive Massively Parallel Coloring in Sparse Graphs (PODC 2024) "
+        "- full reproduction: AMPC/MPC/LOCAL simulators, beta-partitions, "
+        "sublinear LCA, arboricity-dependent coloring"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,80 @@
+"""Per-round machine context: budgeted, adaptive access to the stores.
+
+A machine executing round i reads from D_{i-1} and writes to D_i
+(Section 3.1).  Reads within a round may depend on earlier reads — the
+defining *adaptive* power of AMPC — which falls out naturally here because
+the machine's code calls :meth:`read` imperatively.
+
+Budget enforcement: each read/write counts one word of communication; a
+machine exceeding ``space_limit`` words raises :class:`SpaceExceeded` when
+``strict`` is on, otherwise the overrun is recorded in the round stats
+(useful at bench scale, where constant factors dominate small n^δ).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ampc.dds import DataStore
+
+__all__ = ["MachineContext", "SpaceExceeded"]
+
+
+class SpaceExceeded(RuntimeError):
+    """A machine used more communication than its local space allows."""
+
+
+class MachineContext:
+    """Handle given to a machine's round function."""
+
+    def __init__(
+        self,
+        machine_id: Any,
+        previous: DataStore,
+        target: DataStore,
+        space_limit: int,
+        strict: bool,
+    ) -> None:
+        self.machine_id = machine_id
+        self._previous = previous
+        self._target = target
+        self._space_limit = space_limit
+        self._strict = strict
+        self.reads = 0
+        self.writes = 0
+
+    def _charge(self, kind: str) -> None:
+        if kind == "read":
+            self.reads += 1
+        else:
+            self.writes += 1
+        if self._strict and self.reads + self.writes > self._space_limit:
+            raise SpaceExceeded(
+                f"machine {self.machine_id}: {self.reads} reads + "
+                f"{self.writes} writes exceeds S={self._space_limit}"
+            )
+
+    def read(self, key: Any) -> Any:
+        """Read a single-valued key from D_{i-1} (EMPTY if absent)."""
+        self._charge("read")
+        return self._previous.read(key)
+
+    def read_indexed(self, key: Any, index: int) -> Any:
+        """Read the index-th value of a multi-valued key from D_{i-1}."""
+        self._charge("read")
+        return self._previous.read_indexed(key, index)
+
+    def count(self, key: Any) -> int:
+        """Number of values under a key (one probe)."""
+        self._charge("read")
+        return self._previous.count(key)
+
+    def write(self, key: Any, value: Any) -> None:
+        """Write one key-value pair to D_i."""
+        self._charge("write")
+        self._target.write(key, value)
+
+    @property
+    def communication(self) -> int:
+        """Words of communication used so far this round."""
+        return self.reads + self.writes

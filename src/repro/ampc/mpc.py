@@ -1,0 +1,84 @@
+"""Low-space MPC simulator with broadcast trees — substrate for Theorem 1.5.
+
+The theorem's algorithm is *non-adaptive*: machines hold edge shards and
+repeatedly (a) evaluate conditional expectations locally, (b) aggregate
+sums up an n^{δ/2}-ary broadcast tree, (c) receive the chosen seed-bit
+assignment back down the tree.  The only costs are rounds (tree depth per
+sweep) and per-machine message counts, which this class accounts.
+
+AMPC can simulate any MPC algorithm round-for-round (proof of Theorem 1.5),
+so the stats produced here compose directly with AMPC round counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, TypeVar
+
+__all__ = ["MPCSimulator"]
+
+T = TypeVar("T")
+
+
+class MPCSimulator:
+    """Machines with S = N^δ words; communication via a broadcast tree."""
+
+    def __init__(self, input_size: int, delta: float = 0.5) -> None:
+        if input_size < 1:
+            raise ValueError("input_size must be >= 1")
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        self.input_size = input_size
+        self.delta = delta
+        self.space_limit = max(2, math.ceil(input_size**delta))
+        self.num_machines = max(1, -(-input_size // self.space_limit))
+        # Tree arity n^{δ/2} (the paper's choice); at least 2.
+        self.tree_arity = max(2, math.ceil(input_size ** (delta / 2)))
+        self.rounds = 0
+        self.max_message_words = 0
+
+    @property
+    def tree_depth(self) -> int:
+        """Depth of the broadcast tree over all machines (O(1/δ))."""
+        if self.num_machines <= 1:
+            return 1
+        return max(1, math.ceil(math.log(self.num_machines, self.tree_arity)))
+
+    def shard(self, items: Sequence[T]) -> list[list[T]]:
+        """Partition items across machines, <= S per machine."""
+        shards: list[list[T]] = []
+        for start in range(0, len(items), self.space_limit):
+            shards.append(list(items[start: start + self.space_limit]))
+        if not shards:
+            shards.append([])
+        return shards
+
+    def aggregate_sums(self, per_machine_vectors: Sequence[Sequence[float]]) -> list[float]:
+        """Sum equal-length vectors from all machines at the tree root.
+
+        Charges ``tree_depth`` rounds; per round a machine sends its
+        (partial-sum) vector of ``w`` words, so w is recorded against the
+        bandwidth stat.  (The paper sends n^{δ/3} values per round when
+        sweeping seed batches.)
+        """
+        if not per_machine_vectors:
+            return []
+        width = len(per_machine_vectors[0])
+        if any(len(v) != width for v in per_machine_vectors):
+            raise ValueError("aggregate_sums needs equal-length vectors")
+        self.rounds += self.tree_depth
+        self.max_message_words = max(self.max_message_words, width)
+        result = [0.0] * width
+        for vector in per_machine_vectors:
+            for i, value in enumerate(vector):
+                result[i] += value
+        return result
+
+    def broadcast(self, words: int = 1) -> None:
+        """Root-to-leaves broadcast of ``words`` words (tree_depth rounds)."""
+        self.rounds += self.tree_depth
+        self.max_message_words = max(self.max_message_words, words)
+
+    def charge_local_round(self) -> None:
+        """One round of purely local computation + O(S) shuffles."""
+        self.rounds += 1

@@ -1,0 +1,136 @@
+"""The AMPC execution engine — Section 3.1 made runnable.
+
+An :class:`AMPCSimulator` owns the sequence of data stores D_0, D_1, ...
+and the round loop.  Client algorithms (e.g. Theorem 1.2 in
+:mod:`repro.core.beta_partition_ampc`) call :meth:`round` with a list of
+``(machine_id, run)`` tasks; each task's ``run(ctx)`` reads adaptively from
+the previous store through the budgeted :class:`MachineContext` and writes
+to the next store.  The simulator records per-round statistics and can
+enforce the S = N^δ budget strictly.
+
+Machines are simulated sequentially — the model is synchronous, and within
+a round machines only read D_{i-1}, so sequential execution is
+observationally identical to parallel execution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable
+
+from repro.ampc.cost import ExecutionStats, RoundStats
+from repro.ampc.dds import DataStore
+from repro.ampc.machine import MachineContext
+
+__all__ = ["AMPCSimulator"]
+
+Task = tuple[Any, Callable[[MachineContext], None]]
+
+
+class AMPCSimulator:
+    """Round-synchronous AMPC machine with explicit stores and budgets.
+
+    Parameters
+    ----------
+    input_size:
+        N = n + m, determines the space budget.
+    delta:
+        Local space exponent; S = ceil(N^delta).
+    strict_space:
+        Raise :class:`~repro.ampc.machine.SpaceExceeded` on budget
+        violation instead of recording it.
+    space_slack:
+        Multiplier on S before enforcement (the model allows O(S)).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        delta: float = 0.5,
+        strict_space: bool = False,
+        space_slack: float = 1.0,
+    ) -> None:
+        if input_size < 1:
+            raise ValueError("input_size must be >= 1")
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        self.input_size = input_size
+        self.delta = delta
+        self.space_limit = max(1, math.ceil(input_size**delta * space_slack))
+        self.strict_space = strict_space
+        self.stores: list[DataStore] = [DataStore(name="D0")]
+        self.stats = ExecutionStats(
+            input_size=input_size, space_per_machine=self.space_limit
+        )
+
+    @property
+    def current_store(self) -> DataStore:
+        """The most recently completed store D_i."""
+        return self.stores[-1]
+
+    def load_input(self, pairs: Iterable[tuple[Any, Any]]) -> None:
+        """Populate D_0 with the input (free: input placement is given)."""
+        store = self.stores[0]
+        for key, value in pairs:
+            store.write(key, value)
+
+    def port_to_current(self, pairs: Iterable[tuple[Any, Any]]) -> None:
+        """Write pairs into the *current* store (DDS-side porting).
+
+        Models the bookkeeping machines of Theorem 1.2's proof that "can
+        compute deg_{G_{i+1}}(u) ... and port the edges of G_{i+1} to
+        D_{i+1}" within the same round; no extra round is charged.
+        """
+        store = self.stores[-1]
+        for key, value in pairs:
+            store.write(key, value)
+
+    def round(
+        self,
+        tasks: Iterable[Task],
+        reducer: Callable[[list[Any]], Any] | None = None,
+    ) -> DataStore:
+        """Execute one AMPC round.
+
+        Every task reads from the current store and writes to a fresh next
+        store.  ``reducer``, if given, collapses multi-valued keys in the
+        new store afterwards (DDS-side merge, e.g. min over layer proofs).
+        Returns the new store.
+        """
+        previous = self.stores[-1]
+        target = DataStore(name=f"D{len(self.stores)}")
+        stats = RoundStats(round_index=len(self.stats.rounds))
+        for machine_id, run in tasks:
+            ctx = MachineContext(
+                machine_id=machine_id,
+                previous=previous,
+                target=target,
+                space_limit=self.space_limit,
+                strict=self.strict_space,
+            )
+            run(ctx)
+            stats.machines_active += 1
+            stats.max_reads = max(stats.max_reads, ctx.reads)
+            stats.max_writes = max(stats.max_writes, ctx.writes)
+            stats.total_reads += ctx.reads
+            stats.total_writes += ctx.writes
+        if reducer is not None:
+            target.reduce_per_key(reducer)
+        stats.store_words = target.total_words()
+        self.stats.rounds.append(stats)
+        self.stores.append(target)
+        return target
+
+    def charge_rounds(self, count: int, note: str = "") -> None:
+        """Account for rounds executed by a closed-form simulation step.
+
+        The coloring pipelines simulate LOCAL algorithms whose AMPC round
+        cost is established analytically (Sections 6.1-6.3); this charges
+        those rounds without materialising per-node machine tasks.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            self.stats.rounds.append(
+                RoundStats(round_index=len(self.stats.rounds))
+            )

@@ -1,0 +1,194 @@
+"""Theorem 1.5: deterministic 2xΔ-coloring in low-space MPC.
+
+The randomized trial: every uncolored vertex hashes itself to a color from
+a palette of C = 2^ceil(log2(2xΔ)) colors using a pairwise-independent
+GF(2^k) hash; the expected number of monochromatic "live" edges (edges
+with an uncolored endpoint) is (#live edges)/C <= |U|/(2x).
+
+Derandomization (method of conditional expectations, [CPS20]-style): the
+seed has 2k = O(log n) bits.  Bits are fixed in batches; for each of the
+2^b assignments of a batch, every machine computes the *exact* conditional
+expectation of its shard's monochromatic-edge count — possible because
+each edge's collision event is a conjunction of GF(2)-linear constraints
+on the seed (characteristic 2: no carries), so the conditional probability
+is 2^(-rank) of a small linear system.  Sums are aggregated up a broadcast
+tree and the minimizing assignment is fixed.  The invariant
+E[Y | fixed bits] <= E[Y] makes the final, fully-deterministic trial leave
+at most |U|/x vertices uncolored — a hard guarantee this implementation
+asserts every phase.  O(log_x n) phases finish the coloring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.ampc.mpc import MPCSimulator
+from repro.graphs.graph import Graph
+from repro.util.hashing import PairwiseHashFamily
+
+__all__ = ["MPCColoringResult", "deterministic_mpc_coloring"]
+
+
+@dataclass
+class MPCColoringResult:
+    """Coloring plus phase/round accounting."""
+
+    colors: list[int]
+    num_colors: int  # palette size C (= 2^ceil(log2(2xΔ)), 0 edges -> 1)
+    phases: int
+    mpc_rounds: int
+    max_message_words: int
+    uncolored_history: list[int] = field(default_factory=list)
+
+
+def _strip_bits(row: int, rhs: int, assignment: list[tuple[int, int]]) -> tuple[int, int]:
+    """Substitute fixed seed bits into one GF(2) equation."""
+    for idx, val in assignment:
+        if (row >> idx) & 1:
+            row &= ~(1 << idx)
+            rhs ^= val
+    return row, rhs
+
+
+def _event_probability(stripped: list[tuple[int, int]]) -> float:
+    """P[all equations hold] for uniform free bits: 2^-rank, or 0.
+
+    ``stripped`` holds (row, rhs) pairs whose fixed bits were substituted
+    away; Gaussian elimination over the remaining variables.
+    """
+    basis: list[tuple[int, int]] = []
+    for row, rhs in stripped:
+        cur, cb = row, rhs
+        for brow, bb in basis:
+            if cur ^ brow < cur:
+                cur ^= brow
+                cb ^= bb
+        if cur:
+            basis.append((cur, cb))
+            basis.sort(key=lambda t: t[0], reverse=True)
+        elif cb:
+            return 0.0
+    return 2.0 ** (-len(basis))
+
+
+def deterministic_mpc_coloring(
+    graph: Graph,
+    x: int,
+    delta: float = 0.5,
+    batch_bits: int | None = None,
+) -> MPCColoringResult:
+    """Color ``graph`` with <= 2^ceil(log2(2xΔ)) < 4xΔ colors, deterministically.
+
+    ``x > 1`` trades palette size against phases: larger x, fewer phases.
+    """
+    if x < 2:
+        raise ValueError("Theorem 1.5 needs x > 1")
+    n = graph.num_vertices
+    max_degree = graph.max_degree()
+    if n == 0:
+        return MPCColoringResult([], 0, 0, 0, 0, [])
+    if max_degree == 0:
+        return MPCColoringResult([0] * n, 1, 0, 0, 0, [n, 0])
+
+    palette_bits = max(1, math.ceil(math.log2(2 * x * max_degree)))
+    family = PairwiseHashFamily(n, palette_bits)
+    input_size = n + graph.num_edges
+    mpc = MPCSimulator(input_size, delta=delta)
+    if batch_bits is None:
+        batch_bits = max(1, min(8, int(delta / 3 * math.log2(input_size))))
+
+    colors: list[int | None] = [None] * n
+    uncolored = set(graph.vertices())
+    history = [len(uncolored)]
+    all_edges = list(graph.edges())
+    phases = 0
+
+    while uncolored:
+        phases += 1
+        # Live events: every edge with >= 1 uncolored endpoint contributes
+        # one linear-constraint system whose satisfaction = "monochromatic".
+        events: list[tuple[list[int], list[int], int, int]] = []
+        for u, v in all_edges:
+            cu, cv = colors[u], colors[v]
+            if cu is None and cv is None:
+                rows, rhs = family.collision_constraints(u, v)
+                events.append((rows, rhs, u, v))
+            elif cu is None and cv is not None:
+                rows, rhs = family.value_constraints(u, cv)
+                events.append((rows, rhs, u, -1))
+            elif cv is None and cu is not None:
+                rows, rhs = family.value_constraints(v, cu)
+                events.append((rows, rhs, v, -1))
+
+        fixed: list[tuple[int, int]] = []  # (bit index, value)
+        if events:
+            shards = mpc.shard(events)
+            bit = 0
+            while bit < family.seed_bits:
+                width = min(batch_bits, family.seed_bits - bit)
+                # Pre-substitute already-fixed bits once per batch.
+                pre: list[list[list[tuple[int, int]]]] = []
+                for shard in shards:
+                    pre.append(
+                        [
+                            [_strip_bits(r, b, fixed) for r, b in zip(rows, rhs)]
+                            for rows, rhs, __, ___ in shard
+                        ]
+                    )
+                vectors = []
+                for shard_events in pre:
+                    vec = []
+                    for assignment in range(1 << width):
+                        batch = [
+                            (bit + t, (assignment >> t) & 1) for t in range(width)
+                        ]
+                        total = 0.0
+                        for stripped in shard_events:
+                            final = [_strip_bits(r, b, batch) for r, b in stripped]
+                            total += _event_probability(final)
+                        vec.append(total)
+                    vectors.append(vec)
+                sums = mpc.aggregate_sums(vectors)
+                best = min(range(len(sums)), key=lambda i: (sums[i], i))
+                fixed.extend((bit + t, (best >> t) & 1) for t in range(width))
+                mpc.broadcast(width)
+                bit += width
+        seed = sum(val << idx for idx, val in fixed)
+
+        # Deterministic trial with the fully fixed seed.
+        trial = {u: family.evaluate(seed, u) for u in uncolored}
+        blocked: set[int] = set()
+        for rows, rhs, a, b in events:
+            if b >= 0:  # both endpoints were uncolored
+                if trial[a] == trial[b]:
+                    blocked.add(a)
+                    blocked.add(b)
+            else:
+                # a uncolored vs fixed neighbor color: mono iff constraints
+                # hold, equivalently iff trial[a] equals that color -- but
+                # we stored only the system; re-check via probability:
+                final = [_strip_bits(r, c, fixed) for r, c in zip(rows, rhs)]
+                if _event_probability(final) == 1.0:
+                    blocked.add(a)
+        newly = uncolored - blocked
+        for u in newly:
+            colors[u] = trial[u]
+        mpc.charge_local_round()
+        # Hard guarantee of the method of conditional expectations:
+        assert len(blocked) <= len(uncolored) / x, (
+            "derandomization invariant violated: "
+            f"{len(blocked)} > {len(uncolored)}/{x}"
+        )
+        uncolored = blocked
+        history.append(len(uncolored))
+
+    final_colors = [c if c is not None else 0 for c in colors]
+    return MPCColoringResult(
+        colors=final_colors,
+        num_colors=1 << palette_bits,
+        phases=phases,
+        mpc_rounds=mpc.rounds,
+        max_message_words=mpc.max_message_words,
+        uncolored_history=history,
+    )

@@ -1,0 +1,66 @@
+"""Sequential coloring baselines.
+
+These are the comparison points for experiment E10 (who wins when α ≪ Δ):
+
+- :func:`greedy_coloring` — classic (Δ+1) first-fit, topology-oblivious;
+- :func:`degeneracy_coloring` — smallest-last order, uses <= degeneracy+1
+  <= 2α colors, the best *sequential* arboricity-aware baseline;
+- :func:`orientation_greedy_coloring` — sinks-first first-fit along an
+  acyclic orientation, using <= out-degree+1 colors; the sequential
+  analogue of what the paper's AMPC pipelines parallelize.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.orientation import Orientation
+from repro.graphs.arboricity import degeneracy_order
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "greedy_coloring",
+    "degeneracy_coloring",
+    "orientation_greedy_coloring",
+]
+
+
+def _first_fit(graph: Graph, order: Sequence[int]) -> list[int]:
+    colors = [-1] * graph.num_vertices
+    for v in order:
+        taken = {colors[int(w)] for w in graph.neighbors(v) if colors[int(w)] >= 0}
+        c = 0
+        while c in taken:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def greedy_coloring(graph: Graph, order: Sequence[int] | None = None) -> list[int]:
+    """First-fit in the given order (default: id order); <= Δ+1 colors."""
+    if order is None:
+        order = list(graph.vertices())
+    return _first_fit(graph, order)
+
+
+def degeneracy_coloring(graph: Graph) -> list[int]:
+    """First-fit in reverse smallest-last order; <= degeneracy+1 colors."""
+    order, __ = degeneracy_order(graph)
+    return _first_fit(graph, list(reversed(order)))
+
+
+def orientation_greedy_coloring(orientation: Orientation) -> list[int]:
+    """First-fit processing sinks first; <= max out-degree + 1 colors.
+
+    Every vertex is colored after all its out-neighbors, so it avoids at
+    most out-degree(v) colors.
+    """
+    order = orientation.topological_order()  # edges point forward
+    colors = [-1] * orientation.graph.num_vertices
+    for v in reversed(order):  # sinks first
+        taken = {colors[w] for w in orientation.out_neighbors[v]}
+        c = 0
+        while c in taken:
+            c += 1
+        colors[v] = c
+    return colors

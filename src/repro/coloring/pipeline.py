@@ -1,0 +1,338 @@
+"""End-to-end AMPC coloring pipelines — Theorem 1.3 and Section 6.4.
+
+Every pipeline follows the paper's recipe: compute a β-partition with
+Theorem 1.2 (measured AMPC rounds), derive the acyclic low-out-degree
+orientation, then run the variant-specific coloring stage whose AMPC cost
+is the simulated-LOCAL conversion of Sections 6.1-6.3.  All results carry
+the measured round breakdown and are *validated* (proper coloring) before
+being returned.
+
+Variants:
+
+- :func:`coloring_alpha_squared_eps` — Theorem 1.3(1): O(α^{2+ε}) colors,
+  O(1/ε) rounds (β = α^{1+ε}).
+- :func:`coloring_alpha_squared` — Theorem 1.3(2): O(α²) colors,
+  O(log α) rounds (β = (2+ε)α).
+- :func:`coloring_two_plus_eps` — Theorem 1.3(3): ((2+ε)α+1) colors,
+  Õ(α/ε) rounds; per-layer initial coloring via Linial + Kuhn-Wattenhofer
+  (§6.3) or via Theorem 1.5 with x = 2 (§6.4), then greedy cross-layer
+  recoloring.
+- :func:`coloring_large_alpha` — §6.4: O(α^{1+ε}) colors in O(1/ε) rounds
+  by coloring each layer with Theorem 1.5 under a fresh palette.
+- :func:`color_graph` — convenience dispatcher with arboricity estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.coloring.arb_linial import (
+    ampc_rounds_for_simulation,
+    arb_linial_coloring,
+    linial_undirected_coloring,
+)
+from repro.coloring.derandomized_mpc import deterministic_mpc_coloring
+from repro.coloring.kuhn_wattenhofer import kw_color_reduction
+from repro.coloring.recolor import greedy_recolor_by_layers, recoloring_ampc_rounds
+from repro.core.beta_partition_ampc import beta_partition_ampc
+from repro.core.orientation import orient_by_partition
+from repro.graphs.arboricity import degeneracy
+from repro.graphs.graph import Graph
+from repro.graphs.validation import is_proper_coloring
+from repro.partition.beta_partition import PartialBetaPartition
+
+__all__ = [
+    "PipelineResult",
+    "coloring_alpha_squared",
+    "coloring_alpha_squared_eps",
+    "coloring_large_alpha",
+    "coloring_two_plus_eps",
+    "color_graph",
+]
+
+
+@dataclass
+class PipelineResult:
+    """A validated coloring with its full AMPC cost breakdown."""
+
+    variant: str
+    colors: list[int]
+    num_colors: int  # distinct colors actually used
+    palette_bound: int  # the variant's guaranteed palette size
+    beta: int
+    alpha: int
+    eps: float
+    partition_rounds: int
+    coloring_rounds: int
+    num_layers: int
+    details: dict = field(default_factory=dict)
+
+    @property
+    def total_rounds(self) -> int:
+        """Partition rounds plus coloring-stage rounds."""
+        return self.partition_rounds + self.coloring_rounds
+
+
+def _space_budget(graph: Graph, delta: float) -> int:
+    return max(2, math.ceil((graph.num_vertices + graph.num_edges) ** delta))
+
+
+def _layers_of(partition: PartialBetaPartition, graph: Graph) -> dict[int, list[int]]:
+    groups: dict[int, list[int]] = {}
+    for v in graph.vertices():
+        groups.setdefault(int(partition.layer(v)), []).append(v)
+    return groups
+
+
+def _finish(graph: Graph, result: PipelineResult) -> PipelineResult:
+    if not is_proper_coloring(graph, result.colors):
+        raise AssertionError(f"pipeline {result.variant} produced an improper coloring")
+    result.num_colors = len(set(result.colors)) if result.colors else 0
+    return result
+
+
+def _trivial_result(graph: Graph, variant: str, alpha: int, eps: float) -> PipelineResult:
+    return PipelineResult(
+        variant=variant,
+        colors=[0] * graph.num_vertices,
+        num_colors=1 if graph.num_vertices else 0,
+        palette_bound=1,
+        beta=0,
+        alpha=alpha,
+        eps=eps,
+        partition_rounds=0,
+        coloring_rounds=0,
+        num_layers=1 if graph.num_vertices else 0,
+    )
+
+
+def coloring_alpha_squared_eps(
+    graph: Graph, alpha: int, eps: float = 1.0, delta: float = 0.5, x: int | None = None
+) -> PipelineResult:
+    """Theorem 1.3(1): O(α^{2+ε})-coloring in O(1/ε) AMPC rounds."""
+    if graph.num_edges == 0:
+        return _trivial_result(graph, "alpha_squared_eps", alpha, eps)
+    beta = max(math.ceil(alpha ** (1 + eps)), 2 * alpha + 1, 2)
+    outcome = beta_partition_ampc(graph, beta, delta=delta, x=x)
+    orientation = orient_by_partition(graph, outcome.partition)
+    linial = arb_linial_coloring(orientation, beta)
+    space = _space_budget(graph, delta)
+    coloring_rounds = ampc_rounds_for_simulation(
+        max(linial.local_rounds, 1), max(beta, 2), space
+    )
+    return _finish(
+        graph,
+        PipelineResult(
+            variant="alpha_squared_eps",
+            colors=linial.colors,
+            num_colors=0,
+            palette_bound=linial.num_colors,
+            beta=beta,
+            alpha=alpha,
+            eps=eps,
+            partition_rounds=outcome.rounds,
+            coloring_rounds=coloring_rounds,
+            num_layers=outcome.num_layers,
+            details={
+                "linial_local_rounds": linial.local_rounds,
+                "partition_mode": outcome.mode,
+            },
+        ),
+    )
+
+
+def coloring_alpha_squared(
+    graph: Graph, alpha: int, eps: float = 1.0, delta: float = 0.5, x: int | None = None
+) -> PipelineResult:
+    """Theorem 1.3(2): O(α²)-coloring in O(log α) AMPC rounds."""
+    if graph.num_edges == 0:
+        return _trivial_result(graph, "alpha_squared", alpha, eps)
+    beta = max(math.ceil((2 + eps) * alpha), 2)
+    outcome = beta_partition_ampc(graph, beta, delta=delta, x=x)
+    orientation = orient_by_partition(graph, outcome.partition)
+    linial = arb_linial_coloring(orientation, beta)
+    space = _space_budget(graph, delta)
+    coloring_rounds = ampc_rounds_for_simulation(
+        max(linial.local_rounds, 1), max(beta, 2), space
+    )
+    return _finish(
+        graph,
+        PipelineResult(
+            variant="alpha_squared",
+            colors=linial.colors,
+            num_colors=0,
+            palette_bound=linial.num_colors,
+            beta=beta,
+            alpha=alpha,
+            eps=eps,
+            partition_rounds=outcome.rounds,
+            coloring_rounds=coloring_rounds,
+            num_layers=outcome.num_layers,
+            details={
+                "linial_local_rounds": linial.local_rounds,
+                "partition_mode": outcome.mode,
+            },
+        ),
+    )
+
+
+def coloring_two_plus_eps(
+    graph: Graph,
+    alpha: int,
+    eps: float = 1.0,
+    delta: float = 0.5,
+    x: int | None = None,
+    initial_method: str = "kw",
+) -> PipelineResult:
+    """Theorem 1.3(3): ((2+ε)α+1)-coloring in Õ(α/ε) AMPC rounds.
+
+    ``initial_method`` selects the per-layer initial coloring: "kw" = Linial
+    then Kuhn-Wattenhofer down to β+1 colors (§6.3); "mpc" = Theorem 1.5
+    with x = 2 (§6.4, initial 4β-palette).  Both end with the greedy
+    top-down cross-layer recoloring into palette {0..β}.
+    """
+    if graph.num_edges == 0:
+        return _trivial_result(graph, "two_plus_eps", alpha, eps)
+    if initial_method not in ("kw", "mpc"):
+        raise ValueError("initial_method must be 'kw' or 'mpc'")
+    beta = max(math.ceil((2 + eps) * alpha), 2)
+    outcome = beta_partition_ampc(graph, beta, delta=delta, x=x)
+    partition = outcome.partition
+    layers = _layers_of(partition, graph)
+    space = _space_budget(graph, delta)
+    n = graph.num_vertices
+
+    initial = [0] * n
+    init_local_rounds = 0
+    init_ampc_rounds = 0
+    if initial_method == "kw":
+        kw_rounds_max = 0
+        linial_rounds_max = 0
+        for vertices in layers.values():
+            sub, mapping = graph.subgraph(vertices)
+            if sub.num_edges == 0:
+                continue
+            sub_degree = min(sub.max_degree(), beta)
+            lin = linial_undirected_coloring(sub, sub_degree)
+            kw = kw_color_reduction(sub, lin.colors, sub_degree, palette=lin.num_colors)
+            inverse = {new: old for old, new in mapping.items()}
+            for new_id, color in enumerate(kw.colors):
+                initial[inverse[new_id]] = color
+            linial_rounds_max = max(linial_rounds_max, lin.local_rounds)
+            kw_rounds_max = max(kw_rounds_max, kw.local_rounds)
+        init_local_rounds = linial_rounds_max + kw_rounds_max
+        init_ampc_rounds = ampc_rounds_for_simulation(
+            max(linial_rounds_max, 1), max(beta, 2), space
+        ) + ampc_rounds_for_simulation(kw_rounds_max, max(beta, 2), space)
+    else:
+        mpc_rounds_max = 0
+        for vertices in layers.values():
+            sub, mapping = graph.subgraph(vertices)
+            if sub.num_edges == 0:
+                continue
+            res = deterministic_mpc_coloring(sub, x=2, delta=delta)
+            inverse = {new: old for old, new in mapping.items()}
+            for new_id, color in enumerate(res.colors):
+                initial[inverse[new_id]] = color
+            mpc_rounds_max = max(mpc_rounds_max, res.mpc_rounds)
+        init_ampc_rounds = mpc_rounds_max
+
+    pick = "highest" if initial_method == "kw" else "lowest"
+    recolored = greedy_recolor_by_layers(graph, partition, initial, beta, pick=pick)
+    recolor_rounds = recoloring_ampc_rounds(len(layers), beta, delta, n)
+    return _finish(
+        graph,
+        PipelineResult(
+            variant="two_plus_eps",
+            colors=recolored.colors,
+            num_colors=0,
+            palette_bound=beta + 1,
+            beta=beta,
+            alpha=alpha,
+            eps=eps,
+            partition_rounds=outcome.rounds,
+            coloring_rounds=init_ampc_rounds + recolor_rounds,
+            num_layers=outcome.num_layers,
+            details={
+                "initial_method": initial_method,
+                "init_local_rounds": init_local_rounds,
+                "init_ampc_rounds": init_ampc_rounds,
+                "recolor_ampc_rounds": recolor_rounds,
+                "partition_mode": outcome.mode,
+            },
+        ),
+    )
+
+
+def coloring_large_alpha(
+    graph: Graph, alpha: int, eps: float = 1.0, delta: float = 0.5, x: int | None = None
+) -> PipelineResult:
+    """Section 6.4: O(α^{1+ε})-coloring in O(1/ε) rounds via per-layer
+    Theorem 1.5 with fresh palettes (works for α up to n^δ and beyond)."""
+    if graph.num_edges == 0:
+        return _trivial_result(graph, "large_alpha", alpha, eps)
+    beta = max(math.ceil(alpha ** (1 + eps)), 2 * alpha + 1, 2)
+    outcome = beta_partition_ampc(graph, beta, delta=delta, x=x)
+    layers = _layers_of(outcome.partition, graph)
+    trial_x = max(2, round(alpha**eps))
+    colors = [0] * graph.num_vertices
+    offset = 0
+    mpc_rounds_max = 0
+    for __, vertices in sorted(layers.items()):
+        sub, mapping = graph.subgraph(vertices)
+        inverse = {new: old for old, new in mapping.items()}
+        if sub.num_edges == 0:
+            for new_id in range(sub.num_vertices):
+                colors[inverse[new_id]] = offset
+            offset += 1
+            continue
+        res = deterministic_mpc_coloring(sub, x=trial_x, delta=delta)
+        for new_id, color in enumerate(res.colors):
+            colors[inverse[new_id]] = offset + color
+        offset += res.num_colors
+        mpc_rounds_max = max(mpc_rounds_max, res.mpc_rounds)
+    return _finish(
+        graph,
+        PipelineResult(
+            variant="large_alpha",
+            colors=colors,
+            num_colors=0,
+            palette_bound=offset,
+            beta=beta,
+            alpha=alpha,
+            eps=eps,
+            partition_rounds=outcome.rounds,
+            coloring_rounds=mpc_rounds_max,
+            num_layers=outcome.num_layers,
+            details={"per_layer_x": trial_x, "partition_mode": outcome.mode},
+        ),
+    )
+
+
+def color_graph(
+    graph: Graph,
+    variant: str = "auto",
+    alpha: int | None = None,
+    eps: float = 1.0,
+    delta: float = 0.5,
+) -> PipelineResult:
+    """Color ``graph`` with an arboricity-dependent AMPC pipeline.
+
+    ``alpha`` defaults to the degeneracy (a cheap upper bound on α; use
+    :func:`repro.graphs.exact_arboricity` for the exact value on small
+    graphs).  ``variant="auto"`` picks the fewest-colors pipeline
+    (two_plus_eps); other values name the specific theorem part.
+    """
+    if alpha is None:
+        alpha = max(1, degeneracy(graph))
+    dispatch = {
+        "auto": coloring_two_plus_eps,
+        "two_plus_eps": coloring_two_plus_eps,
+        "alpha_squared": coloring_alpha_squared,
+        "alpha_squared_eps": coloring_alpha_squared_eps,
+        "large_alpha": coloring_large_alpha,
+    }
+    if variant not in dispatch:
+        raise ValueError(f"unknown variant {variant!r}; options: {sorted(dispatch)}")
+    return dispatch[variant](graph, alpha, eps=eps, delta=delta)

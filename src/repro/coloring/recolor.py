@@ -1,0 +1,106 @@
+"""Cross-layer recoloring — the greedy conflict-fixing of Section 6.3.
+
+Input: a β-partition and an *initial* coloring with palette {0..β} that is
+proper within every layer but may conflict across layers.  The centralized
+process: topmost layer keeps its colors; then layers are processed top to
+bottom, and inside a layer vertices are processed in decreasing initial
+color; each vertex picks an available color among {0..β} avoiding all
+neighbors that already finalized (its same-or-higher-layer neighbors, of
+which there are <= β — so a color always exists).
+
+The AMPC simulation batches layers so each vertex's recursive dependency
+ball fits in machine memory; :func:`recoloring_ampc_rounds` reproduces the
+paper's O((β/(εδ)) log β) round count for the parameters at hand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.graphs.graph import Graph
+from repro.partition.beta_partition import INFINITY, PartialBetaPartition
+
+__all__ = ["RecolorResult", "greedy_recolor_by_layers", "recoloring_ampc_rounds"]
+
+
+@dataclass
+class RecolorResult:
+    """Final proper coloring in palette {0..β}."""
+
+    colors: list[int]
+    num_colors: int
+    processed_order: list[int]  # the centralized order, for inspection
+
+
+def greedy_recolor_by_layers(
+    graph: Graph,
+    partition: PartialBetaPartition,
+    initial_colors: list[int],
+    beta: int,
+    pick: Literal["highest", "lowest"] = "highest",
+) -> RecolorResult:
+    """Fix cross-layer conflicts into a proper (β+1)-coloring.
+
+    ``initial_colors`` must be proper inside each layer (values may come
+    from any palette — they only define the processing order, Section 6.4
+    uses a 4β-palette initial coloring); the partition must be complete.
+    ``pick`` selects the highest (Section 6.3) or lowest (Section 6.4)
+    available color from {0..β} — both are valid.
+    """
+    n = graph.num_vertices
+    if len(initial_colors) != n:
+        raise ValueError("need one initial color per vertex")
+    for v in graph.vertices():
+        if partition.layer(v) == INFINITY:
+            raise ValueError(f"vertex {v} unlayered")
+        for w in graph.neighbors(v):
+            w = int(w)
+            if (
+                partition.layer(w) == partition.layer(v)
+                and initial_colors[w] == initial_colors[v]
+            ):
+                raise ValueError(
+                    f"initial coloring not proper within layer: {v} ~ {w}"
+                )
+    # Process by (layer desc, initial color desc); ties broken by id for
+    # determinism — tied vertices are never adjacent (initial coloring is
+    # proper within a layer), so any tie-break yields the same constraints.
+    order = sorted(
+        graph.vertices(),
+        key=lambda v: (-partition.layer(v), -initial_colors[v], v),
+    )
+    final: list[int | None] = [None] * n
+    palette = range(beta, -1, -1) if pick == "highest" else range(beta + 1)
+    for v in order:
+        blocked = {
+            final[int(w)] for w in graph.neighbors(v) if final[int(w)] is not None
+        }
+        chosen = next((c for c in palette if c not in blocked), None)
+        if chosen is None:
+            raise AssertionError(
+                "palette exhausted: partition was not a valid β-partition"
+            )
+        final[v] = chosen
+    colors = [c for c in final if c is not None]
+    assert len(colors) == n
+    return RecolorResult(
+        colors=colors, num_colors=len(set(colors)), processed_order=order
+    )
+
+
+def recoloring_ampc_rounds(
+    num_layers: int, beta: int, delta: float, n: int, c: float = 1.0
+) -> int:
+    """AMPC rounds for the layer-batched recoloring simulation.
+
+    Section 6.3: batches of (cδ/β)·log_β n layers keep the dependency ball
+    under n^δ, giving O((β/(εδ))·log β) batches, one AMPC round each.
+    The ε⁻¹ factor lives in num_layers = O(ε⁻¹ log n) already.
+    """
+    if num_layers <= 0:
+        return 0
+    log_beta_n = math.log(max(n, 2)) / math.log(max(beta, 2))
+    batch = max(1.0, c * delta / max(beta, 1) * log_beta_n)
+    return max(1, math.ceil(num_layers / batch))

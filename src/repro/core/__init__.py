@@ -1,0 +1,19 @@
+"""The paper's core AMPC contributions: Theorem 1.2 and Lemma 5.1."""
+
+from repro.core.beta_partition_ampc import (
+    BetaPartitionOutcome,
+    beta_partition_ampc,
+    default_game_budget,
+)
+from repro.core.guessing import GuessedPartitionOutcome, beta_partition_unknown_alpha
+from repro.core.orientation import Orientation, orient_by_partition
+
+__all__ = [
+    "BetaPartitionOutcome",
+    "GuessedPartitionOutcome",
+    "Orientation",
+    "beta_partition_ampc",
+    "beta_partition_unknown_alpha",
+    "default_game_budget",
+    "orient_by_partition",
+]

@@ -1,0 +1,84 @@
+"""Acyclic low-out-degree orientations from β-partitions.
+
+A complete β-partition yields the orientation every Section 6 coloring
+algorithm consumes: orient each edge from the lower layer to the higher
+layer, breaking within-layer ties by vertex id.  Every vertex then has
+out-degree <= β (its out-neighbors are a subset of its same-or-higher-layer
+neighbors), and the orientation is acyclic because (layer, id) strictly
+increases along directed edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.partition.beta_partition import INFINITY, PartialBetaPartition
+
+__all__ = ["Orientation", "orient_by_partition"]
+
+
+@dataclass
+class Orientation:
+    """Acyclic orientation with per-vertex out-neighbor lists."""
+
+    graph: Graph
+    out_neighbors: list[list[int]]
+
+    def max_out_degree(self) -> int:
+        """Largest out-degree."""
+        return max((len(o) for o in self.out_neighbors), default=0)
+
+    def in_neighbors(self) -> list[list[int]]:
+        """Reverse adjacency (computed on demand)."""
+        incoming: list[list[int]] = [[] for _ in range(self.graph.num_vertices)]
+        for v, outs in enumerate(self.out_neighbors):
+            for w in outs:
+                incoming[w].append(v)
+        return incoming
+
+    def topological_order(self) -> list[int]:
+        """Vertices in an order where edges point forward; raises on cycle."""
+        n = self.graph.num_vertices
+        indegree = [0] * n
+        for outs in self.out_neighbors:
+            for w in outs:
+                indegree[w] += 1
+        stack = [v for v in range(n) if indegree[v] == 0]
+        order: list[int] = []
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            for w in self.out_neighbors[v]:
+                indegree[w] -= 1
+                if indegree[w] == 0:
+                    stack.append(w)
+        if len(order) != n:
+            raise ValueError("orientation contains a cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        """True when no directed cycle exists."""
+        try:
+            self.topological_order()
+        except ValueError:
+            return False
+        return True
+
+
+def orient_by_partition(graph: Graph, partition: PartialBetaPartition) -> Orientation:
+    """Orient lower layer -> higher layer, within-layer by vertex id.
+
+    Requires a complete partition (no ∞ layers); the resulting out-degree
+    is at most β whenever ``partition`` is a valid β-partition.
+    """
+    out: list[list[int]] = [[] for _ in range(graph.num_vertices)]
+    for v in graph.vertices():
+        lay_v = partition.layer(v)
+        if lay_v == INFINITY:
+            raise ValueError(f"vertex {v} is unlayered; complete the partition first")
+        for w in graph.neighbors(v):
+            w = int(w)
+            if (partition.layer(w), w) > (lay_v, v):
+                out[v].append(w)
+    return Orientation(graph=graph, out_neighbors=out)

@@ -1,0 +1,52 @@
+"""Shared plumbing for the experiment harness.
+
+Each experiment module produces a list of plain-dict rows; benchmarks and
+examples render them with :func:`format_table` so every table in
+EXPERIMENTS.md can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell rendering."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    columns: Iterable[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table (markdown-pipe style)."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    columns = list(columns)
+    cells = [[format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in cells:
+        lines.append(" | ".join(val.ljust(w) for val, w in zip(r, widths)))
+    return "\n".join(lines)

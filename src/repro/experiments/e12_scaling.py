@@ -1,0 +1,49 @@
+"""E12 — harness scaling: wall-clock of the full pipeline vs n.
+
+Not a paper claim — the calibration note warns the pure-Python simulation
+is "slow on large sparse graphs", so this table records the practical
+envelope: seconds for β-partitioning and for the headline coloring as n
+grows at fixed α, plus the simulated-rounds columns showing that *model*
+cost stays flat while wall-clock grows roughly linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.coloring.pipeline import coloring_two_plus_eps
+from repro.core.beta_partition_ampc import beta_partition_ampc
+from repro.graphs.generators import union_of_random_forests
+
+__all__ = ["run_scaling"]
+
+
+def run_scaling(
+    ns: tuple[int, ...] = (250, 500, 1000, 2000),
+    alpha: int = 2,
+    seed: int = 15,
+) -> list[dict]:
+    """One row per n."""
+    beta = 3 * alpha
+    rows = []
+    for n in ns:
+        graph = union_of_random_forests(n, alpha, seed=seed)
+        t0 = time.perf_counter()
+        outcome = beta_partition_ampc(graph, beta)
+        partition_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        result = coloring_two_plus_eps(graph, alpha, eps=1.0)
+        coloring_seconds = time.perf_counter() - t0
+        rows.append(
+            {
+                "n": n,
+                "m": graph.num_edges,
+                "partition_s": partition_seconds,
+                "coloring_s": coloring_seconds,
+                "partition_rounds": outcome.rounds,
+                "total_rounds": result.total_rounds,
+                "colors": result.num_colors,
+                "us_per_edge": 1e6 * (partition_seconds + coloring_seconds) / max(1, graph.num_edges),
+            }
+        )
+    return rows

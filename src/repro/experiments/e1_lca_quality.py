@@ -1,0 +1,68 @@
+"""E1 — Lemma 4.7: LCA query bound and layered-fraction guarantee.
+
+Paper claims, per LCA application with budget x on arboricity-α graphs with
+β >= (2+ε)α:
+
+- at most x⁶ probes per queried vertex;
+- a subset S of >= (1 - 2^{1 - log x / log_{β/2α}(β+1)}) |V| vertices whose
+  layering is a β-partition of G[S] with <= log_{β+1} x layers.
+
+Measured: per (n, α, x): the achieved layered fraction (vs the bound), the
+max probes (vs x⁶), the max layer (vs log_{β+1} x), and validity of the
+min-merged partition restricted to the layered set.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.generators import union_of_random_forests
+from repro.lca.partial_partition_lca import (
+    PartialPartitionLCA,
+    lca_success_fraction_bound,
+)
+from repro.partition.beta_partition import INFINITY
+
+__all__ = ["run_lca_quality"]
+
+
+def run_lca_quality(
+    ns: tuple[int, ...] = (200, 400),
+    alphas: tuple[int, ...] = (1, 2, 3),
+    xs: tuple[int, ...] = (16, 64),
+    eps: float = 1.0,
+    seed: int = 1,
+) -> list[dict]:
+    """Sweep (n, α, x); one row per combination."""
+    rows = []
+    for n in ns:
+        for alpha in alphas:
+            graph = union_of_random_forests(n, alpha, seed=seed + alpha)
+            beta = max(2, math.ceil((2 + eps) * alpha))
+            for x in xs:
+                lca = PartialPartitionLCA(graph, x=x, beta=beta)
+                merged, results = lca.query_all()
+                layered = [
+                    v for v in graph.vertices() if merged.layer(v) != INFINITY
+                ]
+                fraction = len(layered) / n
+                bound = lca_success_fraction_bound(x, beta, alpha)
+                max_queries = max(r.queries for r in results.values())
+                valid = merged.is_valid_on_subset(graph, beta, set(layered))
+                rows.append(
+                    {
+                        "n": n,
+                        "alpha": alpha,
+                        "beta": beta,
+                        "x": x,
+                        "layered_frac": fraction,
+                        "paper_bound": bound,
+                        "meets_bound": fraction >= bound,
+                        "max_layer": merged.max_layer(),
+                        "layer_cap": lca.max_layer,
+                        "max_queries": max_queries,
+                        "query_cap_x6": x**6,
+                        "subset_valid": valid,
+                    }
+                )
+    return rows

@@ -1,0 +1,68 @@
+"""E2 — Lemma 4.6: structural bounds of the coin-dropping game.
+
+Paper claims, for any root v and budget x: G[S_v] stays connected, at most
+x new vertices join S_v per super-iteration (hence |S_v| <= x³ + 1), and
+|E(G[S_v])| <= x⁶.
+
+Measured: per x, the max over roots of |S_v| and |E(G[S_v])|, against both
+bounds, plus a connectivity check of the explored subgraph.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.generators import union_of_random_forests
+from repro.lca.coin_game import CoinDroppingGame
+from repro.lca.oracle import GraphOracle
+
+__all__ = ["run_game_bounds"]
+
+
+def _explored_connected(graph, explored: set[int], root: int) -> bool:
+    seen = {root}
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        for w in graph.neighbors(v):
+            w = int(w)
+            if w in explored and w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return seen == explored
+
+
+def run_game_bounds(
+    n: int = 300,
+    alpha: int = 2,
+    xs: tuple[int, ...] = (8, 16, 32, 64),
+    eps: float = 1.0,
+    num_roots: int = 40,
+    seed: int = 2,
+) -> list[dict]:
+    """One row per x: worst-case game footprint over sampled roots."""
+    graph = union_of_random_forests(n, alpha, seed=seed)
+    beta = max(2, math.ceil((2 + eps) * alpha))
+    roots = list(range(0, graph.num_vertices, max(1, graph.num_vertices // num_roots)))
+    rows = []
+    for x in xs:
+        max_s = max_edges = 0
+        all_connected = True
+        for root in roots:
+            oracle = GraphOracle(graph)
+            result = CoinDroppingGame(oracle, root, x, beta).run()
+            max_s = max(max_s, len(result.explored))
+            max_edges = max(max_edges, result.edges_seen)
+            all_connected &= _explored_connected(graph, result.explored, root)
+        rows.append(
+            {
+                "x": x,
+                "max_S": max_s,
+                "S_cap_x3+1": x**3 + 1,
+                "max_edges": max_edges,
+                "edge_cap_x6": x**6,
+                "connected": all_connected,
+                "within_bounds": max_s <= x**3 + 1 and max_edges <= x**6,
+            }
+        )
+    return rows

@@ -1,0 +1,103 @@
+"""E3 — Theorem 1.2: β-partition size and AMPC round complexity.
+
+Paper claims: a β-partition of size O(log_{β/2α} n) in O(log_{β/2α} β)
+rounds; in particular β = O(α) gives size O(log n) in O(log α) rounds and
+β = O(α^{1+ε}) gives size O(log_α n) in O(1) rounds.
+
+Measured: per (n, α, regime): rounds, partition size, the theoretical size
+scale log_{β/2α} n, orientation out-degree (<= β), and validity.  Random
+forest unions peel in O(1) natural layers, so the round-scaling shape is
+exercised on *deep* workloads — complete (β+1)-ary trees, whose natural
+β-partition has depth+1 layers — where the rounds column shows the
+log_x-flavored trade-off between game budget and round count
+(:func:`run_theorem12_deep`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.beta_partition_ampc import beta_partition_ampc
+from repro.core.orientation import orient_by_partition
+from repro.graphs.generators import complete_ary_tree, union_of_random_forests
+
+__all__ = ["run_theorem12", "run_theorem12_deep"]
+
+
+def run_theorem12_deep(
+    depths: tuple[int, ...] = (2, 3, 4, 5),
+    eps: float = 1.0,
+) -> list[dict]:
+    """Round scaling on complete (β+1)-ary trees (α = 1, β = 3 = (2+ε)α).
+
+    Every internal node of a (β+1)-ary tree has β+1 children, so it stays
+    unlayered until all children are layered: the natural β-partition has
+    exactly depth+1 layers, and the AMPC round count must grow with depth
+    for fixed x and shrink as x grows.
+    """
+    beta = 3
+    rows = []
+    for depth in depths:
+        graph = complete_ary_tree(beta + 1, depth)
+        for x_label, x in (("x=b+1", beta + 1), ("x=(b+1)^2", (beta + 1) ** 2),
+                           ("x=(b+1)^3", (beta + 1) ** 3)):
+            outcome = beta_partition_ampc(graph, beta, x=x)
+            assert outcome.partition.is_valid(graph, beta)
+            rows.append(
+                {
+                    "depth": depth,
+                    "n": graph.num_vertices,
+                    "x": x_label,
+                    "natural_layers": depth + 1,
+                    "rounds": outcome.rounds,
+                    "size": outcome.num_layers,
+                }
+            )
+    return rows
+
+
+def run_theorem12(
+    ns: tuple[int, ...] = (200, 400, 800),
+    alphas: tuple[int, ...] = (2, 4),
+    eps: float = 1.0,
+    seed: int = 3,
+) -> list[dict]:
+    """Sweep n × α × {linear, polynomial} β regimes."""
+    rows = []
+    for n in ns:
+        for alpha in alphas:
+            graph = union_of_random_forests(n, alpha, seed=seed + alpha)
+            regimes = {
+                "beta=(2+eps)a": max(2, math.ceil((2 + eps) * alpha)),
+                "beta=a^(1+eps)": max(
+                    2 * alpha + 1, math.ceil(alpha ** (1 + eps))
+                ),
+            }
+            for regime, beta in regimes.items():
+                # Two game budgets: the shallow x = β+1 certifies one layer
+                # per application (more rounds, the log-shaped regime); the
+                # default x = (β+1)² certifies two (the fast regime).
+                for x_label, x in (("x=b+1", beta + 1), ("x=(b+1)^2", None)):
+                    outcome = beta_partition_ampc(graph, beta, x=x)
+                    valid = outcome.partition.is_valid(graph, beta)
+                    orientation = orient_by_partition(graph, outcome.partition)
+                    ratio = beta / (2 * alpha)
+                    size_scale = (
+                        math.log(n) / math.log(ratio) if ratio > 1 else float("nan")
+                    )
+                    rows.append(
+                        {
+                            "n": n,
+                            "alpha": alpha,
+                            "regime": regime,
+                            "x": x_label,
+                            "beta": beta,
+                            "rounds": outcome.rounds,
+                            "size": outcome.num_layers,
+                            "log_{b/2a}(n)": size_scale,
+                            "max_outdeg": orientation.max_out_degree(),
+                            "valid": valid,
+                            "acyclic": orientation.is_acyclic(),
+                        }
+                    )
+    return rows

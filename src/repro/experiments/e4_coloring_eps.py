@@ -1,0 +1,43 @@
+"""E4 — Theorem 1.3(1): O(α^{2+ε}) colors in O(1/ε) rounds.
+
+Measured: per (α, ε): colors used vs the α^{2+ε} scale and total AMPC
+rounds vs 1/ε; the rounds column should stay flat as n grows and shrink as
+ε grows, while colors grow with α^{2+ε}.
+"""
+
+from __future__ import annotations
+
+from repro.coloring.pipeline import coloring_alpha_squared_eps
+from repro.graphs.generators import union_of_random_forests
+
+__all__ = ["run_coloring_eps"]
+
+
+def run_coloring_eps(
+    n: int = 400,
+    alphas: tuple[int, ...] = (2, 3, 4),
+    eps_values: tuple[float, ...] = (1.0, 0.5),
+    seed: int = 4,
+) -> list[dict]:
+    """Sweep α × ε."""
+    rows = []
+    for alpha in alphas:
+        graph = union_of_random_forests(n, alpha, seed=seed + alpha)
+        for eps in eps_values:
+            res = coloring_alpha_squared_eps(graph, alpha, eps=eps)
+            scale = alpha ** (2 + eps)
+            rows.append(
+                {
+                    "n": n,
+                    "alpha": alpha,
+                    "eps": eps,
+                    "beta": res.beta,
+                    "colors": res.num_colors,
+                    "palette": res.palette_bound,
+                    "a^(2+eps)": scale,
+                    "palette/scale": res.palette_bound / scale,
+                    "rounds": res.total_rounds,
+                    "1/eps": 1 / eps,
+                }
+            )
+    return rows

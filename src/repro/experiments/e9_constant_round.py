@@ -1,0 +1,38 @@
+"""E9 — Corollary 1.4: constant-round ((2+ε)α+1)-coloring for α = O(1).
+
+Measured: rounds of the two_plus_eps pipeline as n grows at fixed α — the
+column should be flat (independent of n), while the colors stay within
+(2+ε)α + 1.
+"""
+
+from __future__ import annotations
+
+from repro.coloring.pipeline import coloring_two_plus_eps
+from repro.graphs.generators import union_of_random_forests
+
+__all__ = ["run_constant_round"]
+
+
+def run_constant_round(
+    ns: tuple[int, ...] = (100, 200, 400, 800),
+    alpha: int = 2,
+    eps: float = 1.0,
+    seed: int = 9,
+) -> list[dict]:
+    """Sweep n at fixed α."""
+    rows = []
+    for n in ns:
+        graph = union_of_random_forests(n, alpha, seed=seed)
+        res = coloring_two_plus_eps(graph, alpha, eps=eps)
+        rows.append(
+            {
+                "n": n,
+                "alpha": alpha,
+                "colors": res.num_colors,
+                "cap": res.beta + 1,
+                "partition_rounds": res.partition_rounds,
+                "coloring_rounds": res.coloring_rounds,
+                "total_rounds": res.total_rounds,
+            }
+        )
+    return rows

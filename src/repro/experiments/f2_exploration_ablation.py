@@ -1,0 +1,82 @@
+"""F2 — Figure 2b / §2.1: why naive exploration fails and adaptivity wins.
+
+On the skewed-dependency gadget, the dependency graph of the chain head
+descends a long path whose every node carries a huge fan of layer-0
+leaves.  We give each strategy the *same* probe budget that the adaptive
+coin game actually used, and measure what fraction of D(ℓ_β, w_0) it
+discovered and whether it could certify w_0's true layer.
+
+Strategies: the paper's adaptive (x, β, F)-game, naive volume-based coin
+dropping, BFS, and DFS.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.generators import skewed_dependency_gadget
+from repro.lca.baselines import bfs_explore, dfs_explore, naive_coin_explore
+from repro.lca.coin_game import CoinDroppingGame
+from repro.lca.oracle import GraphOracle
+from repro.partition.dependency import dependency_set
+from repro.partition.induced import induced_beta_partition, natural_beta_partition
+
+__all__ = ["run_exploration_ablation"]
+
+
+def _certifies(graph, explored: set[int], beta: int, root, true_layer) -> bool:
+    sigma = induced_beta_partition(graph, explored, beta)
+    return sigma.layer(root) == true_layer
+
+
+def run_exploration_ablation(
+    beta: int = 3,
+    chain_length: int = 4,
+    fan: int = 30,
+    decoy_fan: int = 40,
+) -> list[dict]:
+    """One row per strategy.
+
+    ``decoy_fan`` delay trees hang off a high-degree decoy adjacent to w_0
+    but *outside* its dependency graph — the §2.1 structure that drowns
+    BFS (its children all sit at distance 2) and swallows DFS (its id is
+    the lowest among w_0's neighbors).
+    """
+    graph, chain = skewed_dependency_gadget(beta, chain_length, fan, decoy_fan)
+    root = chain[0]
+    natural = natural_beta_partition(graph, beta)
+    true_layer = natural.layer(root)
+    target = dependency_set(graph, natural, root)
+    x = (beta + 1) ** chain_length  # deep enough to certify the chain head
+
+    adaptive_oracle = GraphOracle(graph)
+    adaptive = CoinDroppingGame(adaptive_oracle, root, x, beta).run()
+    budget = adaptive.queries
+
+    runs: dict[str, set[int]] = {"adaptive_game": adaptive.explored}
+    naive_oracle = GraphOracle(graph)
+    runs["naive_coins"] = naive_coin_explore(naive_oracle, root, x)
+    bfs_oracle = GraphOracle(graph)
+    runs["bfs"] = bfs_explore(bfs_oracle, root, budget)
+    dfs_oracle = GraphOracle(graph)
+    runs["dfs"] = dfs_explore(dfs_oracle, root, budget)
+    queries = {
+        "adaptive_game": budget,
+        "naive_coins": naive_oracle.stats.total,
+        "bfs": bfs_oracle.stats.total,
+        "dfs": dfs_oracle.stats.total,
+    }
+
+    rows = []
+    for name, explored in runs.items():
+        rows.append(
+            {
+                "strategy": name,
+                "queries": queries[name],
+                "|S|": len(explored),
+                "D_coverage": len(explored & target) / len(target),
+                "certifies_layer": _certifies(graph, explored, beta, root, true_layer),
+                "true_layer": int(true_layer),
+                "|D|": len(target),
+                "n": graph.num_vertices,
+            }
+        )
+    return rows

@@ -1,0 +1,79 @@
+"""Graph substrate: CSR graphs, generators, arboricity, flows, validation."""
+
+from repro.graphs.arboricity import (
+    core_numbers,
+    degeneracy,
+    degeneracy_order,
+    density_lower_bound,
+    exact_arboricity,
+    forest_partition,
+)
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.densest import densest_subgraph
+from repro.graphs.flow import FlowNetwork
+from repro.graphs.generators import (
+    complete_ary_tree,
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    hypercube,
+    path_graph,
+    preferential_attachment,
+    random_forest,
+    random_gnm,
+    random_tree,
+    skewed_dependency_gadget,
+    star_graph,
+    union_of_random_forests,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    graph_from_json,
+    graph_to_json,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.graphs.validation import (
+    count_colors,
+    is_acyclic_orientation,
+    is_forest,
+    is_proper_coloring,
+    max_out_degree,
+    monochromatic_edges,
+)
+
+__all__ = [
+    "FlowNetwork",
+    "Graph",
+    "GraphBuilder",
+    "complete_ary_tree",
+    "complete_graph",
+    "core_numbers",
+    "count_colors",
+    "cycle_graph",
+    "degeneracy",
+    "degeneracy_order",
+    "densest_subgraph",
+    "density_lower_bound",
+    "exact_arboricity",
+    "forest_partition",
+    "graph_from_json",
+    "graph_to_json",
+    "grid_2d",
+    "hypercube",
+    "is_acyclic_orientation",
+    "is_forest",
+    "is_proper_coloring",
+    "max_out_degree",
+    "monochromatic_edges",
+    "path_graph",
+    "preferential_attachment",
+    "random_forest",
+    "random_gnm",
+    "random_tree",
+    "read_edge_list",
+    "skewed_dependency_gadget",
+    "star_graph",
+    "union_of_random_forests",
+    "write_edge_list",
+]

@@ -1,0 +1,55 @@
+"""Incremental graph builder.
+
+Generators assemble edge sets incrementally (e.g. adding one forest at a
+time); :class:`GraphBuilder` collects edges with validation and produces an
+immutable :class:`~repro.graphs.graph.Graph` at the end.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Collects edges for a graph on ``n`` vertices, then freezes it."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        self._edges: set[tuple[int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the edge is already present."""
+        if u == v:
+            return False
+        return ((u, v) if u < v else (v, u)) in self._edges
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add edge ``{u, v}``; return False if it was already present."""
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u}")
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self.n}")
+        key = (u, v) if u < v else (v, u)
+        if key in self._edges:
+            return False
+        self._edges.add(key)
+        return True
+
+    def add_edges(self, edges) -> int:
+        """Add many edges; return how many were new."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def build(self) -> Graph:
+        """Freeze into an immutable Graph."""
+        return Graph._from_edge_set(self.n, set(self._edges))

@@ -1,0 +1,84 @@
+"""Exact densest subgraph via Goldberg's flow reduction.
+
+``max_H m_H / n_H`` over nonempty vertex-induced subgraphs.  The maximum
+average degree ``2 * density`` sandwiches the arboricity
+(``alpha - 1 < max_H m_H/n_H``-ish via Nash-Williams), and the extracted
+witness subgraph is used in tests to cross-validate
+:func:`repro.graphs.arboricity.exact_arboricity`.
+
+Implementation: binary search on the guess ``g = p / q`` with integer-scaled
+capacities, testing ``exists H: m_H - g * n_H > 0`` with one min-cut per
+probe (edge-node network: s -> e with capacity q, e -> endpoints infinite,
+v -> t with capacity p).  Distinct density values differ by at least
+``1 / n^2``, so O(log(m n^2)) probes isolate the optimum; the witness is the
+source side of the final cut.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.graphs.flow import FlowNetwork
+from repro.graphs.graph import Graph
+
+__all__ = ["densest_subgraph"]
+
+
+def _exists_denser_than(graph: Graph, p: int, q: int) -> set[int] | None:
+    """Return a vertex set H with m_H * q > p * n_H, or None.
+
+    Network nodes: 0 = source, 1 = sink, 2..2+m-1 = edge nodes,
+    2+m .. 2+m+n-1 = vertex nodes.
+    """
+    n, m = graph.num_vertices, graph.num_edges
+    if m == 0:
+        return None
+    net = FlowNetwork(2 + m + n)
+    source, sink = 0, 1
+    vertex_base = 2 + m
+    infinite = q * m + p * n + 1
+    for idx, (u, v) in enumerate(graph.edges()):
+        enode = 2 + idx
+        net.add_edge(source, enode, q)
+        net.add_edge(enode, vertex_base + u, infinite)
+        net.add_edge(enode, vertex_base + v, infinite)
+    for v in range(n):
+        net.add_edge(vertex_base + v, sink, p)
+    cut_value = net.max_flow(source, sink)
+    if cut_value >= q * m:
+        return None
+    side = net.min_cut_source_side(source)
+    witness = {v for v in range(n) if (vertex_base + v) in side}
+    return witness or None
+
+
+def densest_subgraph(graph: Graph) -> tuple[Fraction, list[int]]:
+    """Return ``(max density m_H/n_H, witness vertex list)``.
+
+    Exact: the returned Fraction equals the density of the returned witness,
+    which is maximum over all nonempty vertex subsets.
+    """
+    n, m = graph.num_vertices, graph.num_edges
+    if n == 0:
+        raise ValueError("densest subgraph of the empty graph is undefined")
+    if m == 0:
+        return Fraction(0), [0]
+    # Binary search over density in units of 1/n^2 (distinct subgraph
+    # densities a/b, c/d with b, d <= n differ by >= 1/n^2).
+    scale = n * n
+    lo, hi = 0, m * scale  # density in [0, m]
+    best_witness: list[int] | None = None
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        witness = _exists_denser_than(graph, mid, scale)
+        if witness is not None:
+            lo = mid
+            best_witness = sorted(witness)
+        else:
+            hi = mid - 1
+    if best_witness is None:
+        # Every subgraph has density <= 0/scale ... only possible when m=0.
+        return Fraction(0), [0]
+    sub, __ = graph.subgraph(best_witness)
+    density = Fraction(sub.num_edges, sub.num_vertices)
+    return density, best_witness

@@ -1,0 +1,98 @@
+"""Dinic's maximum-flow algorithm on integer capacities.
+
+Substrate for the exact densest-subgraph computation (Goldberg's reduction),
+which in turn certifies Nash-Williams density lower bounds for arboricity.
+Pure-Python adjacency-list implementation; capacities are Python ints so
+scaled rational capacities never overflow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["FlowNetwork"]
+
+_INF = float("inf")
+
+
+class FlowNetwork:
+    """Directed flow network supporting max-flow and min-cut extraction."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError("need at least a source and a sink")
+        self.n = num_nodes
+        # Edge arrays: to[i], cap[i]; reverse edge of i is i ^ 1.
+        self._to: list[int] = []
+        self._cap: list[float] = []
+        self._adj: list[list[int]] = [[] for _ in range(num_nodes)]
+
+    def add_edge(self, u: int, v: int, capacity: float) -> int:
+        """Add directed edge u -> v; return its edge id."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        eid = len(self._to)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._adj[u].append(eid)
+        self._to.append(u)
+        self._cap.append(0)
+        self._adj[v].append(eid + 1)
+        return eid
+
+    def _bfs_levels(self, s: int, t: int) -> list[int] | None:
+        level = [-1] * self.n
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for eid in self._adj[v]:
+                w = self._to[eid]
+                if self._cap[eid] > 0 and level[w] < 0:
+                    level[w] = level[v] + 1
+                    queue.append(w)
+        return level if level[t] >= 0 else None
+
+    def _dfs_augment(self, v: int, t: int, pushed: float, level: list[int], it: list[int]) -> float:
+        if v == t:
+            return pushed
+        while it[v] < len(self._adj[v]):
+            eid = self._adj[v][it[v]]
+            w = self._to[eid]
+            if self._cap[eid] > 0 and level[w] == level[v] + 1:
+                flow = self._dfs_augment(w, t, min(pushed, self._cap[eid]), level, it)
+                if flow > 0:
+                    self._cap[eid] -= flow
+                    self._cap[eid ^ 1] += flow
+                    return flow
+            it[v] += 1
+        return 0
+
+    def max_flow(self, s: int, t: int) -> float:
+        """Compute the maximum s-t flow (Dinic's algorithm)."""
+        if s == t:
+            raise ValueError("source equals sink")
+        total = 0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level is None:
+                return total
+            it = [0] * self.n
+            while True:
+                pushed = self._dfs_augment(s, t, _INF, level, it)
+                if pushed <= 0:
+                    break
+                total += pushed
+
+    def min_cut_source_side(self, s: int) -> set[int]:
+        """After max_flow, return nodes reachable from s in the residual graph."""
+        seen = {s}
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for eid in self._adj[v]:
+                w = self._to[eid]
+                if self._cap[eid] > 0 and w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+        return seen

@@ -1,0 +1,281 @@
+"""Graph generators with *certified* arboricity bounds.
+
+The paper's theorems are parameterized by the arboricity α (Definition 3.1).
+To test them we need workloads whose arboricity is known by construction:
+
+- :func:`union_of_random_forests` is the canonical workload — by
+  Nash-Williams, a union of k forests has arboricity <= k exactly.
+- :func:`preferential_attachment` gives sparse graphs where the maximum
+  degree Δ grows with n while α stays fixed — the motivating regime where
+  arboricity-dependent coloring beats (Δ+1)-coloring.
+- :func:`skewed_dependency_gadget` builds the Figure 2b counterexample:
+  a graph whose natural β-partition has a long, thin dependency chain with
+  huge fans hanging off it, defeating naive volume-based exploration.
+
+All randomness flows from explicit seeds through SplitMix64.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import Graph
+from repro.util.rng import SplitMix64
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_2d",
+    "hypercube",
+    "complete_ary_tree",
+    "random_tree",
+    "random_forest",
+    "union_of_random_forests",
+    "random_gnm",
+    "preferential_attachment",
+    "skewed_dependency_gadget",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` vertices (arboricity 1 for n >= 2)."""
+    return Graph.from_edges(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices (arboricity 2 by Nash-Williams... = ceil(n/(n-1)) = 2)."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique K_n (arboricity ceil(n/2))."""
+    return Graph.from_edges(n, ((i, j) for i in range(n) for j in range(i + 1, n)))
+
+
+def star_graph(n: int) -> Graph:
+    """Star with one hub and ``n - 1`` leaves (arboricity 1, Δ = n - 1)."""
+    if n < 1:
+        raise ValueError("star needs n >= 1")
+    return Graph.from_edges(n, ((0, i) for i in range(1, n)))
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """rows x cols grid (planar, arboricity <= 2... <= 3 in general; 2 for grids)."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return Graph.from_edges(rows * cols, edges)
+
+
+def hypercube(dim: int) -> Graph:
+    """Boolean hypercube Q_dim on 2^dim vertices."""
+    n = 1 << dim
+    edges = [(v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)]
+    return Graph.from_edges(n, edges)
+
+
+def complete_ary_tree(arity: int, depth: int) -> Graph:
+    """Complete ``arity``-ary tree of the given depth (root at vertex 0).
+
+    Depth 0 is a single vertex.  Vertices are numbered level by level, so
+    the children of v are ``arity * v + 1 .. arity * v + arity``.
+    """
+    if arity < 1:
+        raise ValueError("arity must be >= 1")
+    n = sum(arity**d for d in range(depth + 1))
+    edges = []
+    for v in range(n):
+        for c in range(arity * v + 1, arity * v + arity + 1):
+            if c < n:
+                edges.append((v, c))
+    return Graph.from_edges(n, edges)
+
+
+def random_tree(n: int, seed: int) -> Graph:
+    """Uniform random-attachment tree: node i attaches to a random j < i."""
+    rng = SplitMix64(seed)
+    edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    return Graph.from_edges(n, edges)
+
+
+def random_forest(n: int, num_edges: int, seed: int) -> Graph:
+    """Random forest on ``n`` vertices with exactly ``num_edges`` edges.
+
+    Built by sampling a random attachment tree and keeping a random subset
+    of its edges, so the result is always acyclic (arboricity <= 1).
+    """
+    if num_edges > n - 1:
+        raise ValueError("a forest on n vertices has at most n-1 edges")
+    rng = SplitMix64(seed)
+    tree_edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    rng.shuffle(tree_edges)
+    return Graph.from_edges(n, tree_edges[:num_edges])
+
+
+def union_of_random_forests(n: int, k: int, seed: int) -> Graph:
+    """Union of ``k`` independent random spanning trees: arboricity <= k.
+
+    By Nash-Williams the edge set partitions into <= k forests, so
+    α(G) <= k by construction.  Duplicate edges across trees are merged,
+    which can only lower the arboricity.  For n moderately large the
+    density m/(n-1) stays close to k, so α is close to k as well.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    rng = SplitMix64(seed)
+    builder = GraphBuilder(n)
+    for _ in range(k):
+        child = rng.split()
+        order = list(range(n))
+        child.shuffle(order)
+        for idx in range(1, n):
+            parent = order[child.randrange(idx)]
+            if parent != order[idx]:
+                builder.add_edge(order[idx], parent)
+    return builder.build()
+
+
+def random_gnm(n: int, m: int, seed: int) -> Graph:
+    """Erdos-Renyi G(n, m): exactly ``m`` distinct edges, uniform."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"G({n}, m) has at most {max_edges} edges")
+    rng = SplitMix64(seed)
+    builder = GraphBuilder(n)
+    while len(builder) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+def preferential_attachment(n: int, links: int, seed: int) -> Graph:
+    """Barabasi-Albert style graph: each new node attaches to ``links`` nodes.
+
+    Arboricity <= degeneracy <= links (peel nodes newest-first), but the
+    maximum degree grows roughly like sqrt(n) — exactly the sparse-but-
+    high-degree regime motivating arboricity-dependent coloring.
+    """
+    if links < 1:
+        raise ValueError("links must be >= 1")
+    if n <= links:
+        return complete_graph(n)
+    rng = SplitMix64(seed)
+    builder = GraphBuilder(n)
+    # Seed clique on links + 1 nodes.
+    for u in range(links + 1):
+        for v in range(u + 1, links + 1):
+            builder.add_edge(u, v)
+    # Repeated-endpoints list implements degree-proportional sampling.
+    endpoints: list[int] = []
+    for u in range(links + 1):
+        endpoints.extend([u] * links)
+    for new in range(links + 1, n):
+        chosen: set[int] = set()
+        while len(chosen) < links:
+            pick = endpoints[rng.randrange(len(endpoints))]
+            chosen.add(pick)
+        for target in chosen:
+            builder.add_edge(new, target)
+            endpoints.append(target)
+        endpoints.extend([new] * links)
+    return builder.build()
+
+
+def skewed_dependency_gadget(
+    beta: int, chain_length: int, fan: int, decoy_fan: int = 0
+) -> tuple[Graph, list[int]]:
+    """The Figure 2b counterexample to naive volume-based querying.
+
+    Builds a graph whose natural β-partition contains a *chain*
+    ``w_0, w_1, ..., w_L`` with strictly decreasing layers
+    (layer(w_i) = L - i + 1), where every chain node additionally carries
+    ``fan`` pendant leaves (layer 0).  The dependency graph of ``w_0``
+    therefore descends the whole chain, but a coin-dropping strategy that
+    splits coins uniformly over all ``fan + O(beta)`` neighbors runs out of
+    coins after ~log_fan(x) chain steps, while the paper's adaptive
+    forwarding rule spends only a 1/(beta+1) fraction per step.
+
+    The decreasing layers are enforced with pendant *delay trees*: chain
+    node ``w_i`` carries ``beta + 1`` complete (beta+1)-ary trees of depth
+    ``L - i``, whose roots stay unlayered exactly until iteration ``L - i``
+    of the induced-partition process (Definition 3.6), blocking ``w_i``
+    until iteration ``L - i + 1`` regardless of what its chain neighbors do.
+
+    ``decoy_fan > 0`` additionally attaches to ``w_0`` a *decoy* neighbor
+    (vertex id ``chain_length``) carrying ``decoy_fan`` delay trees of
+    depth L.  The decoy's layer equals w_0's, so it lies *outside*
+    D(ℓ_β, w_0) — yet its degree is decoy_fan, so BFS drowns in its
+    children and DFS can dive into its subtrees (the §2.1 failure modes),
+    while the adaptive rule forwards it only 1/(β+1) of the coins and the
+    decoy re-forwards to at most β+1 children per super-iteration.
+
+    Returns ``(graph, chain)`` where ``chain[i]`` is the vertex id of w_i.
+    ``w_0`` is always vertex 0.  Note the size grows like
+    ``beta * (beta+1)^L`` plus ``decoy_fan * (beta+1)^L``, so keep
+    ``chain_length`` small for large beta.
+    """
+    if beta < 2:
+        raise ValueError("gadget needs beta >= 2")
+    if chain_length < 1:
+        raise ValueError("chain_length must be >= 1")
+    if 0 < decoy_fan < beta:
+        # Fewer than beta delay trees cannot hold the decoy at w_0's layer,
+        # which would drop it *into* the dependency graph.
+        raise ValueError("decoy_fan must be 0 or >= beta")
+    edges: list[tuple[int, int]] = []
+    next_id = chain_length  # chain occupies ids 0..chain_length-1
+    chain = list(range(chain_length))
+
+    def fresh() -> int:
+        nonlocal next_id
+        vid = next_id
+        next_id += 1
+        return vid
+
+    def attach_delay_tree(parent: int, depth: int) -> None:
+        """Attach a complete (beta+1)-ary tree of the given depth to parent."""
+        root = fresh()
+        edges.append((parent, root))
+        frontier = [root]
+        for _ in range(depth):
+            next_frontier = []
+            for node in frontier:
+                for _ in range(beta + 1):
+                    child = fresh()
+                    edges.append((node, child))
+                    next_frontier.append(child)
+            frontier = next_frontier
+
+    last = chain_length - 1
+    if decoy_fan > 0:
+        # Decoy gets the first fresh id (= chain_length), so adversarial
+        # low-id-first exploration orders walk straight into it.
+        decoy = fresh()
+        edges.append((chain[0], decoy))
+        for _ in range(decoy_fan):
+            attach_delay_tree(decoy, last)
+    for i in range(chain_length):
+        if i + 1 < chain_length:
+            edges.append((chain[i], chain[i + 1]))
+        for _ in range(fan):
+            leaf = fresh()
+            edges.append((chain[i], leaf))
+        # beta + 1 delay trees of depth (last - i) keep w_i at layer
+        # last - i + 1: their roots stay unlayered through iteration
+        # last - i, so w_i has > beta infinity-neighbors until then.
+        for _ in range(beta + 1):
+            attach_delay_tree(chain[i], last - i)
+    return Graph.from_edges(next_id, edges), chain

@@ -1,0 +1,189 @@
+"""Immutable undirected graph in CSR (compressed sparse row) form.
+
+Every algorithm in this library reads graphs through this class.  The CSR
+layout matches the paper's access model: the LCA / AMPC query interface is
+"give me the i-th neighbor of v" and "give me deg(v)" (Section 3.1), both
+O(1) on CSR.  Simple graphs only: no self-loops, no parallel edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Undirected simple graph with integer vertices ``0..n-1``.
+
+    Construct via :meth:`from_edges` or :class:`repro.graphs.builder.GraphBuilder`.
+    """
+
+    __slots__ = ("_n", "_offsets", "_targets")
+
+    def __init__(self, n: int, offsets: np.ndarray, targets: np.ndarray) -> None:
+        self._n = n
+        self._offsets = offsets
+        self._targets = targets
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build a graph on ``n`` vertices from an iterable of edges.
+
+        Rejects self-loops and out-of-range endpoints; deduplicates parallel
+        edges silently (the paper's model assumes simple graphs).
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at vertex {u}")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+            seen.add((u, v) if u < v else (v, u))
+        return cls._from_edge_set(n, seen)
+
+    @classmethod
+    def _from_edge_set(cls, n: int, edge_set: set[tuple[int, int]]) -> "Graph":
+        m = len(edge_set)
+        degrees = np.zeros(n, dtype=np.int64)
+        if m:
+            arr = np.fromiter(
+                (x for uv in edge_set for x in uv), dtype=np.int64, count=2 * m
+            ).reshape(m, 2)
+            np.add.at(degrees, arr[:, 0], 1)
+            np.add.at(degrees, arr[:, 1], 1)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        targets = np.zeros(2 * m, dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        if m:
+            for u, v in edge_set:
+                targets[cursor[u]] = v
+                cursor[u] += 1
+                targets[cursor[v]] = u
+                cursor[v] += 1
+        # Sort each adjacency list so neighbor(v, i) is deterministic.
+        for v in range(n):
+            lo, hi = offsets[v], offsets[v + 1]
+            targets[lo:hi] = np.sort(targets[lo:hi])
+        return cls(n, offsets, targets)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return len(self._targets) // 2
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self._offsets[v + 1] - self._offsets[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all vertex degrees."""
+        return np.diff(self._offsets)
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 for the empty graph)."""
+        if self._n == 0:
+            return 0
+        return int(np.diff(self._offsets).max(initial=0))
+
+    def neighbor(self, v: int, i: int) -> int:
+        """The ``i``-th neighbor of ``v`` (the paper's LCA query)."""
+        if not 0 <= i < self.degree(v):
+            raise IndexError(f"vertex {v} has no neighbor index {i}")
+        return int(self._targets[self._offsets[v] + i])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """All neighbors of ``v`` as a sorted array (zero-copy view)."""
+        return self._targets[self._offsets[v]: self._offsets[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if ``{u, v}`` is an edge (binary search on CSR)."""
+        if u == v:
+            return False
+        nbrs = self.neighbors(u)
+        pos = int(np.searchsorted(nbrs, v))
+        return pos < len(nbrs) and int(nbrs[pos]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with u < v."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < int(v):
+                    yield u, int(v)
+
+    def vertices(self) -> range:
+        """Range over all vertex ids."""
+        return range(self._n)
+
+    # -- derived graphs ----------------------------------------------------
+
+    def subgraph(self, vertices: Sequence[int]) -> tuple["Graph", dict[int, int]]:
+        """Vertex-induced subgraph plus the old->new id mapping.
+
+        Vertex ids in the subgraph are ``0..len(vertices)-1`` in the order
+        given (duplicates rejected).
+        """
+        mapping: dict[int, int] = {}
+        for new_id, old_id in enumerate(vertices):
+            if old_id in mapping:
+                raise ValueError(f"duplicate vertex {old_id}")
+            mapping[old_id] = new_id
+        edge_set: set[tuple[int, int]] = set()
+        for old_u, new_u in mapping.items():
+            for old_v in self.neighbors(old_u):
+                new_v = mapping.get(int(old_v))
+                if new_v is not None and new_u < new_v:
+                    edge_set.add((new_u, new_v))
+        return Graph._from_edge_set(len(mapping), edge_set), mapping
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as vertex lists (iterative BFS)."""
+        seen = np.zeros(self._n, dtype=bool)
+        components: list[list[int]] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            seen[start] = True
+            queue = [start]
+            component = []
+            while queue:
+                v = queue.pop()
+                component.append(v)
+                for w in self.neighbors(v):
+                    w = int(w)
+                    if not seen[w]:
+                        seen[w] = True
+                        queue.append(w)
+            components.append(sorted(component))
+        return components
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self._n}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._offsets, other._offsets)
+            and np.array_equal(self._targets, other._targets)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._targets.tobytes()))

@@ -1,0 +1,69 @@
+"""Graph serialization: whitespace edge lists and JSON documents.
+
+Lets users bring their own workloads to the pipelines and persist
+generated benchmark graphs.  The edge-list dialect is the common
+"``u v`` per line, ``#`` comments" format used by SNAP et al.; vertex
+count is the max id + 1 unless given explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.graphs.graph import Graph
+
+__all__ = ["read_edge_list", "write_edge_list", "graph_to_json", "graph_from_json"]
+
+
+def read_edge_list(path: str | Path, num_vertices: int | None = None) -> Graph:
+    """Parse a ``u v`` per-line edge list (``#`` starts a comment)."""
+    edges: list[tuple[int, int]] = []
+    max_id = -1
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            parts = body.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_no}: expected 'u v', got {body!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u < 0 or v < 0:
+                raise ValueError(f"{path}:{line_no}: negative vertex id")
+            edges.append((u, v))
+            max_id = max(max_id, u, v)
+    n = num_vertices if num_vertices is not None else max_id + 1
+    return Graph.from_edges(n, edges)
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write one ``u v`` line per edge (u < v), plus a header comment."""
+    with open(path, "w") as handle:
+        handle.write(
+            f"# n={graph.num_vertices} m={graph.num_edges} (repro edge list)\n"
+        )
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def graph_to_json(graph: Graph) -> str:
+    """Serialize to a compact JSON document."""
+    return json.dumps(
+        {
+            "format": "repro-graph",
+            "version": 1,
+            "num_vertices": graph.num_vertices,
+            "edges": [[u, v] for u, v in graph.edges()],
+        }
+    )
+
+
+def graph_from_json(document: str) -> Graph:
+    """Inverse of :func:`graph_to_json`."""
+    data = json.loads(document)
+    if data.get("format") != "repro-graph":
+        raise ValueError("not a repro-graph document")
+    return Graph.from_edges(
+        data["num_vertices"], [tuple(e) for e in data["edges"]]
+    )

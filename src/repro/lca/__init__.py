@@ -1,0 +1,24 @@
+"""Sublinear LCA for partial β-partitions (Section 4) plus baselines."""
+
+from repro.lca.baselines import bfs_explore, dfs_explore, naive_coin_explore
+from repro.lca.coin_game import CoinDroppingGame, CoinGameResult, max_provable_layer
+from repro.lca.forwarding import forwarding_set
+from repro.lca.oracle import GraphOracle, QueryStats
+from repro.lca.partial_partition_lca import (
+    PartialPartitionLCA,
+    lca_success_fraction_bound,
+)
+
+__all__ = [
+    "CoinDroppingGame",
+    "CoinGameResult",
+    "GraphOracle",
+    "PartialPartitionLCA",
+    "QueryStats",
+    "bfs_explore",
+    "dfs_explore",
+    "forwarding_set",
+    "lca_success_fraction_bound",
+    "max_provable_layer",
+    "naive_coin_explore",
+]

@@ -1,0 +1,101 @@
+"""Exploration strategies that *fail* on skewed dependency graphs (§2.1).
+
+The paper motivates its adaptive forwarding rule by showing three natural
+strategies break: DFS can dive outside the dependency graph, BFS drowns in
+a single high-degree neighbor, and naive volume-based coin dropping (split
+coins equally over *all* neighbors) exhausts its budget within ~log_fan(x)
+hops of a fan-heavy chain.  We implement all three under the same probe
+accounting so experiment F2 can measure exactly how much of D(ℓ_β, v) each
+discovers per query spent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+
+from repro.lca.oracle import GraphOracle
+
+__all__ = ["bfs_explore", "dfs_explore", "naive_coin_explore"]
+
+
+def bfs_explore(oracle: GraphOracle, root: int, query_budget: int) -> set[int]:
+    """Breadth-first exploration until the probe budget is exhausted.
+
+    Returns the set of fully explored vertices.
+    """
+    start = oracle.stats.total
+    explored: set[int] = set()
+    queue = deque([root])
+    enqueued = {root}
+    while queue and oracle.stats.total - start < query_budget:
+        v = queue.popleft()
+        explored.add(v)
+        for w in oracle.explore(v):
+            if w not in enqueued:
+                enqueued.add(w)
+                queue.append(w)
+    return explored
+
+
+def dfs_explore(oracle: GraphOracle, root: int, query_budget: int) -> set[int]:
+    """Depth-first exploration until the probe budget is exhausted."""
+    start = oracle.stats.total
+    explored: set[int] = set()
+    stack = [root]
+    on_stack = {root}
+    while stack and oracle.stats.total - start < query_budget:
+        v = stack.pop()
+        if v in explored:
+            continue
+        explored.add(v)
+        # Push neighbors in reverse id order so low ids are explored first,
+        # mirroring an adversarially arbitrary adjacency-list order.
+        for w in reversed(oracle.explore(v)):
+            if w not in explored and w not in on_stack:
+                on_stack.add(w)
+                stack.append(w)
+    return explored
+
+
+def naive_coin_explore(
+    oracle: GraphOracle, root: int, x: int, max_iterations: int | None = None
+) -> set[int]:
+    """§2.1's naive volume-based coin dropping (the strawman).
+
+    Every explored vertex holding x' >= deg coins forwards x'/deg coins to
+    *each* neighbor — no σ-guidance, no β-sized forwarding set.  Vertices
+    that receive a coin get explored on arrival, and the process repeats
+    until coins can no longer be divided.  On skewed gadgets the coins are
+    spent after ~log_fan(x) chain hops (Figure 2b).
+    """
+    if max_iterations is None:
+        max_iterations = oracle.num_vertices
+    explored: set[int] = set()
+    adjacency: dict[int, list[int]] = {}
+
+    def explore(v: int) -> None:
+        adjacency[v] = oracle.explore(v)
+        explored.add(v)
+
+    explore(root)
+    coins: dict[int, Fraction] = {root: Fraction(x)}
+    for _ in range(max_iterations):
+        moved = False
+        next_coins: dict[int, Fraction] = {}
+        for u, amount in coins.items():
+            nbrs = adjacency.get(u)
+            if nbrs and amount >= len(nbrs):
+                share = amount / len(nbrs)
+                for w in nbrs:
+                    next_coins[w] = next_coins.get(w, Fraction(0)) + share
+                moved = True
+            else:
+                next_coins[u] = next_coins.get(u, Fraction(0)) + amount
+        coins = next_coins
+        for u in sorted(coins):
+            if coins[u] > 0 and u not in explored:
+                explore(u)
+        if not moved:
+            break
+    return explored

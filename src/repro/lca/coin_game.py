@@ -1,0 +1,195 @@
+"""The (x, β, F)-coin dropping game — Section 4.1, Algorithm 1.
+
+The game is played from the perspective of a single node v.  It maintains a
+set S_v of *explored* vertices (full adjacency known), initially {v}.  Each
+super-iteration:
+
+1. computes the S_v-induced β-partition σ (Definition 3.6) from the local
+   view — possible because σ needs only G[S_v] plus true degrees;
+2. computes forwarding sets F(σ, u) (Definition 4.1);
+3. drops x coins on v and forwards them: any u ∈ S_v holding x' >= |F(σ,u)|
+   coins sends x'/|F(σ,u)| to each member of F(σ, u); coins reaching
+   vertices outside S_v stop there;
+4. every outside vertex holding coins is explored and added to S_v.
+
+After x² super-iterations (Lemma 4.4) the simulated layer σ_{S_v}(v) equals
+the natural layer ℓ_β(v) for every v with |D(ℓ_β, v)| <= x² and
+ℓ_β(v) <= log_{β+1} x.
+
+Engineering notes (documented in DESIGN.md):
+
+- Coins are :class:`~fractions.Fraction`; amounts like x/(β+1)^k are exact,
+  so the "holds at least |F|" and "received >= 1 coin" thresholds never
+  suffer float fuzz.
+- If a super-iteration adds no vertex, S_v is a fixed point (σ and F depend
+  only on S_v), so remaining super-iterations are no-ops and we exit early.
+  ``strict=True`` disables this and the forwarding-horizon cap below.
+- Algorithm 1 forwards for |V| iterations; the progress proof (Lemma 4.2)
+  only needs the first wave to travel ceil(log_{β+1} x) hops, so the
+  default horizon is a generous multiple of that.  Coins ping-ponging
+  inside S_v beyond the horizon cannot add new vertices they would not add
+  within it unless they first leave S_v — which the horizon already allows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.lca.forwarding import forwarding_set
+from repro.lca.oracle import GraphOracle
+from repro.partition.beta_partition import INFINITY, PartialBetaPartition
+from repro.partition.induced import induced_partition_from_view
+
+__all__ = ["CoinGameResult", "CoinDroppingGame", "max_provable_layer"]
+
+
+def max_provable_layer(x: int, beta: int) -> int:
+    """floor(log_{β+1} x): the deepest layer the game certifies (Lemma 4.4)."""
+    if x < 1:
+        raise ValueError("x must be >= 1")
+    return int(math.floor(math.log(x) / math.log(beta + 1) + 1e-9)) if x > 1 else 0
+
+
+@dataclass
+class CoinGameResult:
+    """Outcome of one full game for a node v."""
+
+    root: int
+    layer: float  # certified layer of v, or INFINITY
+    proof: PartialBetaPartition  # ℓ_v of Remark 4.8 (clipped to provable layers)
+    explored: set[int] = field(default_factory=set)  # final S_v
+    super_iterations: int = 0
+    queries: int = 0
+    edges_seen: int = 0  # |E(G[S_v])| at the end (Lemma 4.6 bound: x^6)
+
+
+class CoinDroppingGame:
+    """Plays the (x, β, F)-coin dropping game for one root node."""
+
+    def __init__(
+        self,
+        oracle: GraphOracle,
+        root: int,
+        x: int,
+        beta: int,
+        strict: bool = False,
+        forward_iterations: int | None = None,
+    ) -> None:
+        if x < 1:
+            raise ValueError("x must be >= 1")
+        if beta < 1:
+            raise ValueError("beta must be >= 1")
+        self.oracle = oracle
+        self.root = root
+        self.x = x
+        self.beta = beta
+        self.strict = strict
+        if forward_iterations is not None:
+            self.forward_iterations = forward_iterations
+        elif strict:
+            self.forward_iterations = oracle.num_vertices
+        else:
+            # Wave horizon: the Lemma 4.2 path has length <= log_{β+1} x;
+            # a 4x-plus-slack multiple keeps us safely past it.
+            self.forward_iterations = 4 * (max_provable_layer(x, beta) + 2)
+        # Explored state: full adjacency list of every vertex in S_v.
+        self._adjacency: dict[int, list[int]] = {}
+        self._degree: dict[int, int] = {}
+        self._explore(root)
+
+    # -- exploration -------------------------------------------------------
+
+    def _explore(self, v: int) -> None:
+        neighbors = self.oracle.explore(v)
+        self._adjacency[v] = neighbors
+        self._degree[v] = len(neighbors)
+
+    def _local_view(self) -> tuple[dict[int, list[int]], dict[int, int]]:
+        inside = {
+            v: [w for w in nbrs if w in self._adjacency]
+            for v, nbrs in self._adjacency.items()
+        }
+        return inside, dict(self._degree)
+
+    def current_partition(self) -> PartialBetaPartition:
+        """σ_{S_v, β} for the current S_v."""
+        inside, degrees = self._local_view()
+        return induced_partition_from_view(inside, degrees, self.beta)
+
+    @property
+    def explored_vertices(self) -> set[int]:
+        """The current S_v (copies; safe to mutate)."""
+        return set(self._adjacency)
+
+    # -- the game ----------------------------------------------------------
+
+    def super_iteration(self) -> int:
+        """One round of Algorithm 1; returns the number of new vertices.
+
+        Exposed for step-by-step inspection (see examples/lca_exploration.py);
+        :meth:`run` drives the full game.
+        """
+        sigma = self.current_partition()
+        explored = self._adjacency.keys()
+        fsets = {
+            u: forwarding_set(nbrs, sigma.layers, explored, self.beta)
+            for u, nbrs in self._adjacency.items()
+        }
+        coins: dict[int, Fraction] = {self.root: Fraction(self.x)}
+        for _ in range(self.forward_iterations):
+            moved = False
+            next_coins: dict[int, Fraction] = {}
+            for u, amount in coins.items():
+                fset = fsets.get(u)
+                if fset and amount >= len(fset):
+                    share = amount / len(fset)
+                    for w in fset:
+                        next_coins[w] = next_coins.get(w, Fraction(0)) + share
+                    moved = True
+                else:
+                    # Outside S_v, too few coins, or isolated: coins rest.
+                    next_coins[u] = next_coins.get(u, Fraction(0)) + amount
+            coins = next_coins
+            if not moved:
+                break
+        newcomers = [u for u, amount in coins.items() if u not in self._adjacency and amount > 0]
+        for u in sorted(newcomers):
+            self._explore(u)
+        return len(newcomers)
+
+    def run(self) -> CoinGameResult:
+        """Play x² super-iterations (early-exit on fixpoint unless strict)."""
+        start_queries = self.oracle.stats.total
+        performed = 0
+        for _ in range(self.x * self.x):
+            added = self.super_iteration()
+            performed += 1
+            if added == 0 and not self.strict:
+                break
+        sigma = self.current_partition()
+        clip = max_provable_layer(self.x, self.beta)
+        proof_layers = {
+            u: lay
+            for u, lay in sigma.layers.items()
+            if lay != INFINITY and lay <= clip
+        }
+        proof = PartialBetaPartition(proof_layers)
+        layer = proof.layer(self.root)
+        edges_seen = (
+            sum(
+                sum(1 for w in nbrs if w in self._adjacency)
+                for nbrs in self._adjacency.values()
+            )
+            // 2
+        )
+        return CoinGameResult(
+            root=self.root,
+            layer=layer,
+            proof=proof,
+            explored=set(self._adjacency),
+            super_iterations=performed,
+            queries=self.oracle.stats.total - start_queries,
+            edges_seen=edges_seen,
+        )

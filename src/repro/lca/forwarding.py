@@ -1,0 +1,42 @@
+"""Forwarding sets — Definition 4.1 — the game's adaptive steering rule.
+
+``F(σ, u)`` is any ``min(deg(u), β+1)`` neighbors of u with the *highest*
+σ-layers, where unexplored or unlayered neighbors count as ∞.  The paper
+leaves ties among ∞-neighbors free ("a node can forward the coins to any
+such β+1 neighbors"); we break them deterministically, preferring
+*unexplored* neighbors (they are the ones that grow S_v) and then lower
+vertex ids.  Experiments E1/F2 exercise both this rule and the naive
+alternatives it replaces.
+"""
+
+from __future__ import annotations
+
+from typing import Container, Mapping, Sequence
+
+from repro.partition.beta_partition import INFINITY
+
+__all__ = ["forwarding_set"]
+
+
+def forwarding_set(
+    neighbors: Sequence[int],
+    layers: Mapping[int, float],
+    explored: Container[int],
+    beta: int,
+) -> list[int]:
+    """Choose the forwarding set for a node with the given neighbors.
+
+    ``layers`` supplies σ-values for explored vertices (missing = ∞);
+    ``explored`` distinguishes known-∞ vertices from never-seen ones for
+    tie-breaking only.
+    """
+    want = min(len(neighbors), beta + 1)
+    if want == len(neighbors):
+        return list(neighbors)
+
+    def sort_key(w: int) -> tuple[float, int, int]:
+        layer = layers.get(w, INFINITY)
+        # Highest layer first; among equals prefer unexplored, then low id.
+        return (-layer if layer != INFINITY else float("-inf"), w in explored, w)
+
+    return sorted(neighbors, key=sort_key)[:want]

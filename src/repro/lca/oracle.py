@@ -1,0 +1,73 @@
+"""Query-access oracle for LCA algorithms (the model of [RTVX11]).
+
+An LCA may ask two kinds of probes about the input graph:
+
+- ``degree(v)`` — the degree of v;
+- ``neighbor(v, i)`` — the i-th entry of v's adjacency list.
+
+The oracle counts both so experiments can verify Lemma 4.7's query bound.
+``explore(v)`` is the common composite: learn v's full adjacency list
+(1 degree probe + deg(v) neighbor probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphOracle", "QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Probe counters for one LCA invocation."""
+
+    degree_probes: int = 0
+    neighbor_probes: int = 0
+
+    @property
+    def total(self) -> int:
+        """All probes combined."""
+        return self.degree_probes + self.neighbor_probes
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.degree_probes = 0
+        self.neighbor_probes = 0
+
+
+class GraphOracle:
+    """Probe-counting wrapper around a :class:`Graph`.
+
+    A fresh oracle (or a :meth:`reset`) starts a new accounting period; the
+    per-node query bound of Lemma 4.7 applies to one period.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self.stats = QueryStats()
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (global knowledge: n is public in the model)."""
+        return self._graph.num_vertices
+
+    def degree(self, v: int) -> int:
+        """Degree probe."""
+        self.stats.degree_probes += 1
+        return self._graph.degree(v)
+
+    def neighbor(self, v: int, i: int) -> int:
+        """Adjacency-list probe."""
+        self.stats.neighbor_probes += 1
+        return self._graph.neighbor(v, i)
+
+    def explore(self, v: int) -> list[int]:
+        """Learn v's entire neighborhood (deg + adjacency probes)."""
+        deg = self.degree(v)
+        return [self.neighbor(v, i) for i in range(deg)]
+
+    def reset(self) -> None:
+        """Start a new accounting period."""
+        self.stats.reset()

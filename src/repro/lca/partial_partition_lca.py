@@ -1,0 +1,82 @@
+"""The sublinear LCA for partial β-partitions — Lemma 4.7 / Remark 4.8.
+
+When queried about a vertex v, the LCA plays the (x, β, F)-coin dropping
+game from v and outputs
+
+- ``layer(v)`` — the S_v-induced layer of v clipped to the provable range
+  ``[0, log_{β+1} x]`` (∞ otherwise), and
+- a *proof* ℓ_v: a partial β-partition on the explored subgraph that any
+  third party can merge with other proofs via pointwise minimum
+  (Lemma 4.10) to obtain a globally consistent partial β-partition.
+
+Guarantees (Lemma 4.7): at most x⁶ queries per invocation, and the set of
+vertices receiving finite layers covers at least a
+``1 - 2^{1 - log x / log_{β/2α}(β+1)}`` fraction of V whenever
+β >= (2+ε)α.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.lca.coin_game import CoinDroppingGame, CoinGameResult, max_provable_layer
+from repro.lca.oracle import GraphOracle
+from repro.partition.beta_partition import PartialBetaPartition, merge_min
+
+__all__ = ["PartialPartitionLCA", "lca_success_fraction_bound"]
+
+
+def lca_success_fraction_bound(x: int, beta: int, alpha: int) -> float:
+    """Lemma 4.7's guaranteed fraction of layered vertices.
+
+    Returns ``max(0, 1 - 2^{1 - log x / log_{β/2α}(β+1)})``; the logs are
+    base 2 (the paper's exponent is unit-free, any common base works).
+    """
+    import math
+
+    if beta <= 2 * alpha:
+        return 0.0
+    log_ratio = math.log(beta + 1) / math.log(beta / (2 * alpha))
+    exponent = 1 - math.log2(x) / log_ratio
+    return max(0.0, 1.0 - 2.0**exponent)
+
+
+@dataclass
+class PartialPartitionLCA:
+    """Stateless per-vertex LCA; ``query(v)`` is independent across v.
+
+    Parameters mirror Lemma 4.7: exploration budget parameter ``x`` (the
+    query bound is x⁶) and degree bound ``beta``.
+    """
+
+    graph: Graph
+    x: int
+    beta: int
+    strict: bool = False
+
+    def query(self, v: int) -> CoinGameResult:
+        """Answer an LCA query about vertex v (fresh probe accounting)."""
+        oracle = GraphOracle(self.graph)
+        game = CoinDroppingGame(
+            oracle, v, self.x, self.beta, strict=self.strict
+        )
+        return game.run()
+
+    def query_all(self, vertices=None) -> tuple[PartialBetaPartition, dict[int, CoinGameResult]]:
+        """Query every vertex and min-merge the proofs (Remark 4.8).
+
+        Returns the merged partial β-partition λ(v) = min_u ℓ_u(v) and the
+        per-vertex results.  The merge is what the AMPC algorithm of
+        Theorem 1.2 performs inside the distributed data store.
+        """
+        if vertices is None:
+            vertices = self.graph.vertices()
+        results = {v: self.query(v) for v in vertices}
+        merged = merge_min([r.proof for r in results.values()])
+        return merged, results
+
+    @property
+    def max_layer(self) -> int:
+        """Deepest certifiable layer, floor(log_{β+1} x)."""
+        return max_provable_layer(self.x, self.beta)

@@ -1,0 +1,5 @@
+"""Synchronous LOCAL model simulation."""
+
+from repro.local.simulator import LocalSimulator
+
+__all__ = ["LocalSimulator"]

@@ -1,0 +1,115 @@
+"""(Partial) β-partitions — Definition 3.5 — and the min-merge of Lemma 4.10.
+
+A β-partition assigns every vertex a layer from ``N ∪ {∞}`` such that each
+vertex with a finite layer has at most β neighbors in the same or higher
+layers (∞ counts as higher).  If any vertex has layer ∞ the partition is
+*partial*.  Layers are stored as a dict ``vertex -> layer`` with ∞
+represented by :data:`INFINITY` (``float("inf")``), which keeps min-merging
+and comparisons natural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.graphs.graph import Graph
+
+__all__ = ["INFINITY", "PartialBetaPartition", "merge_min"]
+
+INFINITY: float = float("inf")
+
+Layer = float  # an int layer or INFINITY
+
+
+@dataclass
+class PartialBetaPartition:
+    """Layer assignment λ: V -> N ∪ {∞} with validation helpers.
+
+    ``layers`` maps every vertex of the host graph to its layer.  Vertices
+    absent from the mapping are treated as ∞ (convenient for proofs ℓ_u
+    defined on small subgraphs, Remark 4.8).
+    """
+
+    layers: dict[int, Layer] = field(default_factory=dict)
+
+    def layer(self, v: int) -> Layer:
+        """Layer of ``v`` (∞ if unassigned)."""
+        return self.layers.get(v, INFINITY)
+
+    def assigned_vertices(self) -> list[int]:
+        """Vertices with a finite layer."""
+        return [v for v, lay in self.layers.items() if lay != INFINITY]
+
+    def infinity_vertices(self, universe: Iterable[int]) -> list[int]:
+        """Vertices of ``universe`` whose layer is ∞."""
+        return [v for v in universe if self.layer(v) == INFINITY]
+
+    def size(self) -> int:
+        """Number of distinct non-∞ layers (Definition 3.5 'size')."""
+        return len({lay for lay in self.layers.values() if lay != INFINITY})
+
+    def max_layer(self) -> int:
+        """Largest finite layer (-1 if none assigned)."""
+        finite = [lay for lay in self.layers.values() if lay != INFINITY]
+        return int(max(finite)) if finite else -1
+
+    def is_partial(self, universe: Iterable[int]) -> bool:
+        """True if some vertex of ``universe`` has layer ∞."""
+        return any(self.layer(v) == INFINITY for v in universe)
+
+    # -- validation --------------------------------------------------------
+
+    def violations(self, graph: Graph, beta: int) -> list[int]:
+        """Vertices violating Definition 3.5: finite layer but more than β
+        neighbors in the same or higher layer (∞ counts as higher)."""
+        bad = []
+        for v in graph.vertices():
+            lay = self.layer(v)
+            if lay == INFINITY:
+                continue
+            high = sum(1 for w in graph.neighbors(v) if self.layer(int(w)) >= lay)
+            if high > beta:
+                bad.append(v)
+        return bad
+
+    def is_valid(self, graph: Graph, beta: int) -> bool:
+        """True if this is a valid (partial) β-partition of ``graph``."""
+        return not self.violations(graph, beta)
+
+    def is_valid_on_subset(self, graph: Graph, beta: int, subset: set[int]) -> bool:
+        """Lemma 4.7 style check: the layering of ``subset`` restricted to
+        G[subset] is a β-partition (neighbors outside the subset ignored)."""
+        for v in subset:
+            lay = self.layer(v)
+            if lay == INFINITY:
+                return False
+            high = sum(
+                1
+                for w in graph.neighbors(v)
+                if int(w) in subset and self.layer(int(w)) >= lay
+            )
+            if high > beta:
+                return False
+        return True
+
+    def copy(self) -> "PartialBetaPartition":
+        """Independent copy."""
+        return PartialBetaPartition(dict(self.layers))
+
+
+def merge_min(partitions: Iterable[Mapping[int, Layer] | PartialBetaPartition]) -> PartialBetaPartition:
+    """Pointwise minimum of partial β-partitions (Lemma 4.10).
+
+    The minimum of partial β-partitions is again a partial β-partition, and
+    a vertex is finite in the merge iff it is finite in any input.  This is
+    how the AMPC algorithm combines per-node proofs into one consistent
+    global partition (Section 2.3).
+    """
+    merged: dict[int, Layer] = {}
+    for part in partitions:
+        mapping = part.layers if isinstance(part, PartialBetaPartition) else part
+        for v, lay in mapping.items():
+            if lay < merged.get(v, INFINITY):
+                merged[v] = lay
+    return PartialBetaPartition(merged)

@@ -1,0 +1,48 @@
+"""Dependency graphs — Definition 3.9 — and their structural lemmas.
+
+The dependency graph D(σ, v) contains every vertex reachable from v along
+paths of strictly decreasing layers.  It "testifies" v's layer: if an LCA
+has explored a superset of D(ℓ_β, v), its locally simulated layer for v is
+exact (Lemma 3.14).  The coin-dropping game's analysis charges progress
+against D, and experiment E1 measures how |D| distributes over vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.graph import Graph
+from repro.partition.beta_partition import INFINITY, PartialBetaPartition
+
+__all__ = ["dependency_set", "dependency_sizes"]
+
+
+def dependency_set(graph: Graph, partition: PartialBetaPartition, v: int) -> set[int]:
+    """D(σ, v): vertices reachable from v via strictly decreasing layers.
+
+    Empty when σ(v) = ∞ (Definition 3.9).
+    """
+    if partition.layer(v) == INFINITY:
+        return set()
+    result = {v}
+    queue = deque([v])
+    while queue:
+        u = queue.popleft()
+        lay_u = partition.layer(u)
+        for w in graph.neighbors(u):
+            w = int(w)
+            if w not in result and partition.layer(w) < lay_u:
+                result.add(w)
+                queue.append(w)
+    return result
+
+
+def dependency_sizes(graph: Graph, partition: PartialBetaPartition) -> dict[int, int]:
+    """|D(σ, v)| for every vertex, computed in one pass.
+
+    Uses the nested property (Observation 3.10): D(σ, w) ⊆ D(σ, v) whenever
+    w ∈ D(σ, v).  We still compute sizes independently per vertex via BFS —
+    sizes are *not* additive across children because dependency sets
+    overlap — but we share the layer lookups.
+    """
+    return {v: len(dependency_set(graph, partition, v)) for v in graph.vertices()}

@@ -1,0 +1,44 @@
+"""Barenboim–Elkin H-partition by global peeling, with round accounting.
+
+This is the classic LOCAL/sequential algorithm the paper generalizes
+(Section 3.4 discussion): repeatedly put all vertices of current degree
+<= β in the next layer and delete them.  One peel step corresponds to one
+round in LOCAL — and to one AMPC round in the high-arboricity fallback of
+Theorem 1.2, where the coin-dropping LCA cannot be afforded.
+
+For β >= (2+ε)α, Lemma 3.4 guarantees each peel removes at least a
+(1 - 2α/β) fraction of remaining vertices, so the number of layers is
+O(log_{β/2α} n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.partition.beta_partition import PartialBetaPartition
+from repro.partition.induced import natural_beta_partition
+
+__all__ = ["HPartitionResult", "h_partition"]
+
+
+@dataclass
+class HPartitionResult:
+    """Outcome of the peeling process."""
+
+    partition: PartialBetaPartition
+    rounds: int  # number of peel steps = number of layers produced
+    completed: bool  # False if peeling stalled (happens iff beta too small)
+
+
+def h_partition(graph: Graph, beta: int) -> HPartitionResult:
+    """Peel ``graph`` into layers of degree <= β.
+
+    The resulting layering *is* the natural β-partition σ_{V,β}
+    (Definition 3.12 with S = V — the peel step and the induced-partition
+    step coincide), so we reuse that computation and report peel rounds.
+    """
+    partition = natural_beta_partition(graph, beta)
+    rounds = partition.max_layer() + 1
+    completed = not partition.is_partial(graph.vertices())
+    return HPartitionResult(partition=partition, rounds=rounds, completed=completed)

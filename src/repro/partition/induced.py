@@ -1,0 +1,102 @@
+"""S-induced and natural β-partitions — Definitions 3.6 and 3.12.
+
+The S-induced β-partition σ_{S,β} is built by synchronous peeling: at step
+i, every still-unlayered vertex of S with at most β *∞-neighbors in G*
+(neighbors outside S stay ∞ forever) receives layer i.  Crucially, degrees
+refer to the *original* graph G, which is why an LCA can evaluate σ_{S,β}
+knowing only G[S] and the true degrees of S's vertices (Lemma 4.7).
+
+Two entry points:
+
+- :func:`induced_beta_partition` — whole-graph view, given a Graph and S.
+- :func:`induced_partition_from_view` — local view, given the explored
+  adjacency among S plus true degrees; this is what the coin-dropping game
+  calls every super-iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.graphs.graph import Graph
+from repro.partition.beta_partition import INFINITY, PartialBetaPartition
+
+__all__ = [
+    "induced_beta_partition",
+    "induced_partition_from_view",
+    "natural_beta_partition",
+]
+
+
+def induced_partition_from_view(
+    adjacency: Mapping[int, Iterable[int]],
+    true_degree: Mapping[int, int],
+    beta: int,
+) -> PartialBetaPartition:
+    """σ_{S,β} from a local view: S = keys of ``adjacency``.
+
+    ``adjacency[v]`` must list v's neighbors *within S* (symmetric), and
+    ``true_degree[v]`` its degree in the full graph G.  Neighbors of v
+    outside S therefore contribute ``true_degree[v] - |adjacency[v]|``
+    permanently-∞ neighbors.
+
+    Synchronous peeling, layer = step index, O(|S| + |E(G[S])|) total.
+    """
+    if beta < 1:
+        raise ValueError("beta must be >= 1")
+    inf_count: dict[int, int] = {}
+    for v, nbrs in adjacency.items():
+        deg = true_degree[v]
+        known = 0
+        for w in nbrs:
+            if w not in adjacency:
+                raise ValueError(f"adjacency not closed: {w} missing")
+            known += 1
+        if known > deg:
+            raise ValueError(f"vertex {v}: more known neighbors than degree")
+        # All deg neighbors start ∞ (inside-S ones unassigned, outside-S
+        # ones forever).
+        inf_count[v] = deg
+    layers: dict[int, float] = {v: INFINITY for v in adjacency}
+    frontier = [v for v in adjacency if inf_count[v] <= beta]
+    layer_index = 0
+    while frontier:
+        for v in frontier:
+            layers[v] = layer_index
+        next_frontier: list[int] = []
+        for v in frontier:
+            for w in adjacency[v]:
+                if layers[w] == INFINITY:
+                    inf_count[w] -= 1
+                    if inf_count[w] == beta:  # just crossed the threshold
+                        next_frontier.append(w)
+        frontier = next_frontier
+        layer_index += 1
+    return PartialBetaPartition(layers)
+
+
+def induced_beta_partition(graph: Graph, subset: Iterable[int], beta: int) -> PartialBetaPartition:
+    """σ_{S,β} for S = ``subset`` over the full graph (Definition 3.6).
+
+    Vertices outside S keep layer ∞ (and are included in the returned
+    mapping so Lemma 3.8 comparisons are direct).
+    """
+    sset = set(subset)
+    adjacency = {
+        v: [int(w) for w in graph.neighbors(v) if int(w) in sset] for v in sset
+    }
+    true_degree = {v: graph.degree(v) for v in sset}
+    partition = induced_partition_from_view(adjacency, true_degree, beta)
+    for v in graph.vertices():
+        if v not in sset:
+            partition.layers[v] = INFINITY
+    return partition
+
+
+def natural_beta_partition(graph: Graph, beta: int) -> PartialBetaPartition:
+    """The natural β-partition ℓ_β = σ_{V,β} (Definition 3.12).
+
+    For β >= (2+ε)α this is the Barenboim-Elkin H-partition: every vertex
+    receives a finite layer and the number of layers is O(log n).
+    """
+    return induced_beta_partition(graph, graph.vertices(), beta)

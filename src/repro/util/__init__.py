@@ -1,0 +1,22 @@
+"""Shared utilities: PRNG, data structures, finite-field linear algebra."""
+
+from repro.util.bucket_queue import BucketQueue
+from repro.util.dsu import DisjointSetUnion
+from repro.util.gf2 import GF2System, gf2_rank, gf2_solution_count_log2
+from repro.util.gf2k import GF2kField
+from repro.util.hashing import PairwiseHashFamily
+from repro.util.primes import is_prime, next_prime
+from repro.util.rng import SplitMix64
+
+__all__ = [
+    "BucketQueue",
+    "DisjointSetUnion",
+    "GF2System",
+    "GF2kField",
+    "PairwiseHashFamily",
+    "SplitMix64",
+    "gf2_rank",
+    "gf2_solution_count_log2",
+    "is_prime",
+    "next_prime",
+]

@@ -1,0 +1,53 @@
+"""Disjoint-set union (union-find) with path halving and union by size.
+
+Used by the forest-decomposition peeler and spanning-forest generators to
+detect cycles while assembling certified-arboricity workloads.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DisjointSetUnion"]
+
+
+class DisjointSetUnion:
+    """Classic DSU over elements ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._components = n
+
+    @property
+    def components(self) -> int:
+        """Number of disjoint sets currently maintained."""
+        return self._components
+
+    def find(self, x: int) -> int:
+        """Return the representative of the set containing ``x``."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; return False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Return True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, x: int) -> int:
+        """Return the size of the set containing ``x``."""
+        return self._size[self.find(x)]

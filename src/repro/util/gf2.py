@@ -1,0 +1,125 @@
+"""Linear algebra over GF(2), with rows stored as Python integers (bitsets).
+
+The derandomized MPC coloring (Theorem 1.5) reduces conditional-expectation
+computations to *counting solutions* of small linear systems over GF(2):
+given a partial assignment to the seed bits of a pairwise-independent hash
+function, the probability that an edge is monochromatic is
+``(#solutions of A s = b consistent with the fixed bits) / 2^{free bits}``.
+
+Rows are integers whose bit ``i`` is the coefficient of variable ``i``; this
+keeps row operations O(1) word-ops per 64 variables and needs no numpy.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GF2System", "gf2_rank", "gf2_solution_count_log2"]
+
+
+def gf2_rank(rows: list[int]) -> int:
+    """Return the rank of the GF(2) matrix given as bitset rows."""
+    basis: list[int] = []
+    for row in rows:
+        cur = row
+        for b in basis:
+            cur = min(cur, cur ^ b)
+        if cur:
+            basis.append(cur)
+            basis.sort(reverse=True)
+    return len(basis)
+
+
+def gf2_solution_count_log2(rows: list[int], rhs: list[int], nvars: int) -> int | None:
+    """Solve ``A x = b`` over GF(2); return log2(#solutions), or None.
+
+    ``rows[i]`` is the bitset of coefficients of equation ``i`` and
+    ``rhs[i]`` its right-hand side bit.  Returns ``None`` when the system is
+    inconsistent; otherwise the number of solutions is ``2**result`` with
+    ``result = nvars - rank``.
+    """
+    # Gaussian elimination maintaining (row, rhs) pairs.
+    basis: list[tuple[int, int]] = []  # (pivot row, rhs bit), pivot-sorted
+    for row, b in zip(rows, rhs):
+        cur, cb = row, b & 1
+        for brow, bb in basis:
+            if cur ^ brow < cur:
+                cur ^= brow
+                cb ^= bb
+        if cur:
+            basis.append((cur, cb))
+            basis.sort(key=lambda t: t[0], reverse=True)
+        elif cb:
+            return None
+    return nvars - len(basis)
+
+
+class GF2System:
+    """Incrementally built GF(2) linear system with consistency queries.
+
+    Supports adding equations one at a time and asking, after each addition,
+    how many assignments of the ``nvars`` variables satisfy all equations so
+    far.  Used to condition edge-collision events on already-fixed seed bits.
+    """
+
+    def __init__(self, nvars: int) -> None:
+        if nvars < 0:
+            raise ValueError("nvars must be non-negative")
+        self.nvars = nvars
+        self._basis: list[tuple[int, int]] = []
+        self._inconsistent = False
+
+    @property
+    def consistent(self) -> bool:
+        """True while the accumulated system has at least one solution."""
+        return not self._inconsistent
+
+    @property
+    def rank(self) -> int:
+        """Rank of the accumulated coefficient matrix."""
+        return len(self._basis)
+
+    def add_equation(self, row: int, rhs: int) -> None:
+        """Add the equation ``row . x = rhs`` (rhs in {0, 1})."""
+        if self._inconsistent:
+            return
+        cur, cb = row, rhs & 1
+        for brow, bb in self._basis:
+            if cur ^ brow < cur:
+                cur ^= brow
+                cb ^= bb
+        if cur:
+            self._basis.append((cur, cb))
+            self._basis.sort(key=lambda t: t[0], reverse=True)
+        elif cb:
+            self._inconsistent = True
+
+    def solution_count_log2(self) -> int | None:
+        """Return log2 of the number of satisfying assignments, or None."""
+        if self._inconsistent:
+            return None
+        return self.nvars - len(self._basis)
+
+    def probability_with(self, rows: list[int], rhs: list[int]) -> float:
+        """Probability that extra equations hold, conditioned on this system.
+
+        Given that the current system holds (uniform over its solutions),
+        return the probability that all of ``rows[i] . x = rhs[i]`` also
+        hold.  This is exactly ``2^{log2(joint) - log2(current)}``.
+        """
+        base = self.solution_count_log2()
+        if base is None:
+            raise ValueError("conditioning on an inconsistent system")
+        joint = GF2System(self.nvars)
+        joint._basis = list(self._basis)
+        for row, b in zip(rows, rhs):
+            joint.add_equation(row, b)
+        top = joint.solution_count_log2()
+        if top is None:
+            return 0.0
+        return 2.0 ** (top - base)
+
+    def copy(self) -> "GF2System":
+        """Return an independent copy of this system."""
+        clone = GF2System(self.nvars)
+        clone._basis = list(self._basis)
+        clone._inconsistent = self._inconsistent
+        return clone

@@ -1,0 +1,185 @@
+"""Arithmetic in the binary field GF(2^k).
+
+The pairwise-independent hash family of Theorem 1.5 is
+``h(u) = top_bits(s1 * u + s2)`` with multiplication in GF(2^k).  Because
+the field has characteristic 2, ``+`` is XOR, and the collision event
+``h(u) = h(v)`` depends only on ``s1 * (u XOR v)`` — a *GF(2)-linear*
+function of the bits of ``s1``.  That linearity is what makes exact
+conditional expectations tractable (see :mod:`repro.util.gf2`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["GF2kField"]
+
+# Irreducible polynomials over GF(2) for each supported degree, given as the
+# integer whose bits are the polynomial's coefficients (degree k bit set).
+# All are standard low-weight irreducibles (trinomials / pentanomials).
+_IRREDUCIBLE = {
+    1: 0b11,                      # x + 1
+    2: 0b111,                     # x^2 + x + 1
+    3: 0b1011,                    # x^3 + x + 1
+    4: 0b10011,                   # x^4 + x + 1
+    5: 0b100101,                  # x^5 + x^2 + 1
+    6: 0b1000011,                 # x^6 + x + 1
+    7: 0b10000011,                # x^7 + x + 1
+    8: 0b100011011,               # x^8 + x^4 + x^3 + x + 1
+    9: 0b1000010001,              # x^9 + x^4 + 1
+    10: 0b10000001001,            # x^10 + x^3 + 1
+    11: 0b100000000101,           # x^11 + x^2 + 1
+    12: 0b1000001010011,          # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,         # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010000000011,        # x^14 + x^10 + x + 1  (low weight)
+    15: 0b1000000000000011,       # x^15 + x + 1
+    16: 0b10001000000001011,      # x^16 + x^12 + x^3 + x + 1
+    17: 0b100000000000001001,     # x^17 + x^3 + 1
+    18: 0b1000000000010000001,    # x^18 + x^7 + 1
+    19: 0b10000000000000100111,   # x^19 + x^5 + x^2 + x + 1
+    20: 0b100000000000000001001,  # x^20 + x^3 + 1
+    21: 0b1000000000000000000101,   # x^21 + x^2 + 1
+    22: 0b10000000000000000000011,  # x^22 + x + 1
+    23: 0b100000000000000000100001,  # x^23 + x^5 + 1
+    24: 0b1000000000000000010000111,  # x^24 + x^7 + x^2 + x + 1
+    25: 0b10000000000000000000001001,  # x^25 + x^3 + 1
+    26: 0b100000000000000000001000011,  # x^26 + x^6 + x + 1  (pentanomial-ish)
+    27: 0b1000000000000000000000100111,  # x^27 + x^5 + x^2 + x + 1
+    28: 0b10000000000000000000000000011,  # x^28 + x + 1  (not irr? see check)
+    29: 0b100000000000000000000000000101,  # x^29 + x^2 + 1
+    30: 0b1000000000000000000000000000011,  # x^30 + x + 1 (check)
+    31: 0b10000000000000000000000000001001,  # x^31 + x^3 + 1
+    32: 0b100000000000000000000000010001101,  # x^32+x^7+x^3+x^2+1
+}
+
+
+def _poly_mod_mult(a: int, b: int, mod: int, k: int) -> int:
+    """Carry-less multiply of ``a`` and ``b`` reduced modulo ``mod``."""
+    result = 0
+    top = 1 << k
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & top:
+            a ^= mod
+    return result
+
+
+def _is_irreducible(poly: int, k: int) -> bool:
+    """Rabin irreducibility test for a degree-k polynomial over GF(2)."""
+    if k == 1:
+        # x and x+1 are the only degree-1 polynomials; both irreducible.
+        # (The generic test below manipulates the unreduced element "x",
+        # which only exists for k >= 2.)
+        return poly in (0b10, 0b11)
+
+    def mulmod(a: int, b: int) -> int:
+        return _poly_mod_mult(a, b, poly, k)
+
+    def pow_x(exp: int) -> int:
+        # Compute x^exp mod poly via square and multiply on exponent bits.
+        result = 0b10 if exp % 2 else 0b1
+        base = 0b10
+        exp //= 2
+        while exp:
+            base = mulmod(base, base)
+            if exp & 1:
+                result = mulmod(result, base)
+            exp //= 2
+        return result
+
+    # x^(2^k) == x (mod poly) is necessary.
+    if pow_x(1 << k) != 0b10:
+        return False
+    # gcd(x^(2^(k/p)) - x, poly) == 1 for each prime divisor p of k.
+    divisors = {p for p in range(2, k + 1) if k % p == 0 and all(p % q for q in range(2, p))}
+    for p in divisors:
+        probe = pow_x(1 << (k // p)) ^ 0b10
+        if _gcd_poly(probe, poly) != 1:
+            return False
+    return True
+
+
+def _gcd_poly(a: int, b: int) -> int:
+    """GCD of two GF(2)[x] polynomials represented as bit masks."""
+    while b:
+        a, b = b, _poly_rem(a, b)
+    return a
+
+
+def _poly_rem(a: int, b: int) -> int:
+    """Remainder of polynomial division a mod b over GF(2)."""
+    db = b.bit_length() - 1
+    while a.bit_length() - 1 >= db and a:
+        a ^= b << (a.bit_length() - 1 - db)
+    return a
+
+
+class GF2kField:
+    """The finite field GF(2^k) for 1 <= k <= 32.
+
+    Elements are integers in ``[0, 2^k)``; addition is XOR; multiplication
+    is carry-less multiplication modulo a fixed irreducible polynomial.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k not in _IRREDUCIBLE:
+            raise ValueError(f"unsupported field degree {k} (need 1..32)")
+        poly = _IRREDUCIBLE[k]
+        if not _is_irreducible(poly, k):
+            # Fall back to a search; the table should make this unreachable,
+            # but a wrong table entry must never silently corrupt the field.
+            poly = self._find_irreducible(k)
+        self.k = k
+        self.order = 1 << k
+        self.modulus = poly
+
+    @staticmethod
+    def _find_irreducible(k: int) -> int:
+        for candidate in range((1 << k) + 1, 1 << (k + 1), 2):
+            if _is_irreducible(candidate, k):
+                return candidate
+        raise RuntimeError(f"no irreducible polynomial of degree {k} found")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        return _poly_mod_mult(a, b, self.modulus, self.k)
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation by squaring."""
+        result = 1
+        while e:
+            if e & 1:
+                result = self.mul(result, a)
+            a = self.mul(a, a)
+            e >>= 1
+        return result
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse of nonzero ``a`` (a^(2^k - 2))."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^k)")
+        return self.pow(a, self.order - 2)
+
+    def mul_matrix_rows(self, w: int) -> list[int]:
+        """Return the GF(2) matrix of the linear map ``s -> s * w``.
+
+        Row ``i`` (an integer bitset over the k input bits of ``s``) gives
+        output bit ``i`` of the product as a parity of input bits:
+        ``bit_i(s*w) = parity(rows[i] & s)``.  This is the bridge from field
+        multiplication to the GF(2) solver.
+        """
+        # Column j of the map is e_j * w; transpose into row bitsets.
+        cols = [self.mul(1 << j, w) for j in range(self.k)]
+        rows = []
+        for i in range(self.k):
+            row = 0
+            for j in range(self.k):
+                if (cols[j] >> i) & 1:
+                    row |= 1 << j
+            rows.append(row)
+        return rows

@@ -1,0 +1,114 @@
+"""Pairwise-independent hash families over GF(2^k).
+
+Theorem 1.5 derandomizes a randomized color trial whose only requirement is
+*pairwise independence* of the node colors.  We realise the trial with
+
+    h_{s1,s2}(u) = top_c_bits(s1 * u' + s2)      (arithmetic in GF(2^k))
+
+where ``u' = u + 1`` (shifting node ids away from 0 so the map u -> u' is
+injective and nonzero).  For s1, s2 uniform, (h(u), h(v)) is uniform on
+pairs for u != v, giving collision probability exactly 2^-c.
+
+Crucially, since the field has characteristic 2,
+
+    h(u) = h(v)  <=>  top_c_bits(s1 * (u' ^ v')) = 0,
+
+an event that is a conjunction of c GF(2)-linear constraints on the bits of
+``s1`` alone.  :meth:`PairwiseHashFamily.collision_constraints` exposes those
+constraints so the method of conditional expectations can evaluate exact
+probabilities under partially fixed seeds.
+"""
+
+from __future__ import annotations
+
+from repro.util.gf2k import GF2kField
+
+__all__ = ["PairwiseHashFamily"]
+
+
+class PairwiseHashFamily:
+    """The family ``h(u) = top_c_bits(s1 * (u+1) + s2)`` over GF(2^k).
+
+    Parameters
+    ----------
+    universe_size:
+        Hash inputs are node ids in ``[0, universe_size)``.
+    num_colors_log2:
+        Output is ``c = num_colors_log2`` bits, i.e. a color in
+        ``[0, 2^c)``.
+    """
+
+    def __init__(self, universe_size: int, num_colors_log2: int) -> None:
+        if universe_size < 1:
+            raise ValueError("universe_size must be >= 1")
+        if num_colors_log2 < 1:
+            raise ValueError("need at least one output bit")
+        # Need k bits to represent u+1 for u in [0, universe_size), and at
+        # least c output bits.
+        k = max(universe_size.bit_length(), num_colors_log2)
+        self.field = GF2kField(k)
+        self.k = k
+        self.c = num_colors_log2
+        self.universe_size = universe_size
+        # The seed is (s1, s2): 2k bits total.  Bits 0..k-1 are s1,
+        # bits k..2k-1 are s2.
+        self.seed_bits = 2 * k
+
+    @property
+    def num_colors(self) -> int:
+        """Size of the output palette, ``2^c``."""
+        return 1 << self.c
+
+    def _encode(self, u: int) -> int:
+        if not 0 <= u < self.universe_size:
+            raise ValueError(f"input {u} outside universe")
+        return u + 1
+
+    def evaluate(self, seed: int, u: int) -> int:
+        """Hash ``u`` under the given ``seed`` (an integer of seed_bits)."""
+        k = self.k
+        s1 = seed & ((1 << k) - 1)
+        s2 = (seed >> k) & ((1 << k) - 1)
+        y = self.field.mul(s1, self._encode(u)) ^ s2
+        return y >> (k - self.c)
+
+    def collision_constraints(self, u: int, v: int) -> tuple[list[int], list[int]]:
+        """Return GF(2) equations over the seed equivalent to ``h(u)==h(v)``.
+
+        The returned ``(rows, rhs)`` has one equation per output bit; rows
+        are bitsets over the ``seed_bits`` seed variables (only s1 bits have
+        nonzero coefficients).  ``h(u) == h(v)`` holds iff every equation
+        ``rows[i] . seed = rhs[i]`` holds.
+        """
+        if u == v:
+            raise ValueError("collision of a node with itself is trivial")
+        w = self._encode(u) ^ self._encode(v)
+        mat = self.field.mul_matrix_rows(w)
+        # Output bits are the top c bits: indices k-1 .. k-c of s1*w.
+        rows = [mat[self.k - 1 - i] for i in range(self.c)]
+        rhs = [0] * self.c
+        return rows, rhs
+
+    def value_constraints(self, u: int, color: int) -> tuple[list[int], list[int]]:
+        """GF(2) equations over the seed equivalent to ``h(u) == color``.
+
+        Unlike collisions, this event involves s2: output bit j of h(u) is
+        ``parity(mat_u[k-c+j] & s1) XOR bit_{k-c+j}(s2)``.  Needed when an
+        uncolored vertex must avoid an already-fixed neighbor color
+        (Theorem 1.5's later phases).
+        """
+        if not 0 <= color < self.num_colors:
+            raise ValueError(f"color {color} outside palette")
+        k, c = self.k, self.c
+        mat = self.field.mul_matrix_rows(self._encode(u))
+        rows = []
+        rhs = []
+        for j in range(c):
+            t = k - c + j  # bit position in y = s1*u' + s2
+            rows.append(mat[t] | (1 << (k + t)))
+            rhs.append((color >> j) & 1)
+        return rows, rhs
+
+    def collision_probability(self) -> float:
+        """Exact collision probability for distinct inputs (``2^-c``)."""
+        return 2.0 ** (-self.c)

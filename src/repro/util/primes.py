@@ -1,0 +1,49 @@
+"""Prime utilities for the cover-free-family constructions.
+
+The Arb-Linial color reduction (Section 6.1) encodes colors as low-degree
+polynomials over a prime field F_q; we need deterministic primality testing
+and next-prime search for moderate q (up to ~2^40 in any realistic run).
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_prime", "next_prime"]
+
+# Deterministic Miller-Rabin witness sets (Sinclair / Jaeschke bounds).
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test, exact for all 64-bit integers."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are sufficient for n < 3.3 * 10^24.
+    for a in _SMALL_PRIMES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime >= n."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # make it odd
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate

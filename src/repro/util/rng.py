@@ -1,0 +1,89 @@
+"""Deterministic pseudo-random number generation.
+
+Every randomized *generator* in this library (graph generators, workload
+builders) draws from :class:`SplitMix64`, a tiny, fast, splittable PRNG with
+a fully specified bit-level behaviour.  Using our own PRNG instead of
+:mod:`random` guarantees that benchmark workloads are reproducible across
+Python versions and platforms.
+
+The paper's algorithms themselves are deterministic; randomness only appears
+in workload construction.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SplitMix64"]
+
+_MASK64 = (1 << 64) - 1
+
+
+class SplitMix64:
+    """SplitMix64 PRNG (Steele, Lea & Flood 2014).
+
+    Produces a deterministic stream of 64-bit values from a seed.  Supports
+    the handful of distributions the graph generators need.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit output."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def randrange(self, n: int) -> int:
+        """Return a uniform integer in ``[0, n)``.
+
+        Uses rejection sampling to avoid modulo bias.
+        """
+        if n <= 0:
+            raise ValueError("randrange requires n >= 1")
+        # Largest multiple of n that fits in 64 bits.
+        limit = (_MASK64 + 1) - ((_MASK64 + 1) % n)
+        while True:
+            value = self.next_u64()
+            if value < limit:
+                return value % n
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Return a uniform integer in ``[lo, hi]`` (inclusive)."""
+        if hi < lo:
+            raise ValueError("randint requires lo <= hi")
+        return lo + self.randrange(hi - lo + 1)
+
+    def random(self) -> float:
+        """Return a uniform float in ``[0, 1)`` with 53 bits of precision."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def shuffle(self, items: list) -> None:
+        """Fisher-Yates shuffle of ``items`` in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def sample(self, n: int, k: int) -> list[int]:
+        """Return ``k`` distinct integers drawn uniformly from ``[0, n)``.
+
+        Uses Floyd's algorithm, so the cost is ``O(k)`` expected regardless
+        of ``n``.
+        """
+        if k < 0 or k > n:
+            raise ValueError("sample requires 0 <= k <= n")
+        chosen: set[int] = set()
+        result: list[int] = []
+        for j in range(n - k, n):
+            t = self.randrange(j + 1)
+            if t in chosen:
+                t = j
+            chosen.add(t)
+            result.append(t)
+        self.shuffle(result)
+        return result
+
+    def split(self) -> "SplitMix64":
+        """Return an independent child PRNG (for parallel workloads)."""
+        return SplitMix64(self.next_u64() ^ 0xA5A5A5A5A5A5A5A5)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    path_graph,
+    random_tree,
+    star_graph,
+    union_of_random_forests,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return complete_graph(3)
+
+
+@pytest.fixture
+def small_tree() -> Graph:
+    return random_tree(30, seed=100)
+
+
+@pytest.fixture
+def forest_union() -> Graph:
+    """Union of 3 random spanning trees on 120 vertices: arboricity <= 3."""
+    return union_of_random_forests(120, 3, seed=101)
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    return grid_2d(6, 6)
+
+
+@pytest.fixture(
+    params=["path", "cycle", "star", "grid", "tree", "forests", "clique"]
+)
+def assorted_graph(request) -> Graph:
+    """A representative zoo of small graphs for cross-cutting invariants."""
+    return {
+        "path": path_graph(15),
+        "cycle": cycle_graph(12),
+        "star": star_graph(20),
+        "grid": grid_2d(5, 5),
+        "tree": random_tree(40, seed=102),
+        "forests": union_of_random_forests(60, 2, seed=103),
+        "clique": complete_graph(8),
+    }[request.param]

@@ -1,0 +1,58 @@
+"""Tests for the distributed data store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ampc.dds import EMPTY, DataStore
+
+
+class TestDataStore:
+    def test_single_value_roundtrip(self):
+        store = DataStore()
+        store.write("k", 42)
+        assert store.read("k") == 42
+
+    def test_absent_key_returns_empty(self):
+        store = DataStore()
+        assert store.read("missing") is EMPTY
+        assert not EMPTY  # falsy sentinel
+
+    def test_multi_value_semantics(self):
+        store = DataStore()
+        store.write("k", 1)
+        store.write("k", 2)
+        assert store.count("k") == 2
+        assert store.read_indexed("k", 0) == 1
+        assert store.read_indexed("k", 1) == 2
+        assert store.read_indexed("k", 2) is EMPTY
+
+    def test_single_read_of_multivalue_raises(self):
+        store = DataStore()
+        store.write("k", 1)
+        store.write("k", 2)
+        with pytest.raises(KeyError):
+            store.read("k")
+
+    def test_reduce_per_key(self):
+        store = DataStore()
+        store.write("a", 3)
+        store.write("a", 1)
+        store.write("b", 9)
+        store.reduce_per_key(min)
+        assert store.read("a") == 1
+        assert store.read("b") == 9
+
+    def test_len_and_total_words(self):
+        store = DataStore()
+        store.write("a", 1)
+        store.write("a", 2)
+        store.write("b", 3)
+        assert len(store) == 3
+        assert store.total_words() == 3
+
+    def test_contains_and_keys(self):
+        store = DataStore()
+        store.write(("x", 1), "v")
+        assert ("x", 1) in store
+        assert list(store.keys()) == [("x", 1)]

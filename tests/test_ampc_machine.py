@@ -1,0 +1,58 @@
+"""Tests for the budgeted machine context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ampc.dds import EMPTY, DataStore
+from repro.ampc.machine import MachineContext, SpaceExceeded
+
+
+def _make(space=5, strict=True):
+    prev = DataStore("prev")
+    prev.write("a", 1)
+    prev.write("multi", 1)
+    prev.write("multi", 2)
+    nxt = DataStore("next")
+    ctx = MachineContext("M0", prev, nxt, space_limit=space, strict=strict)
+    return ctx, prev, nxt
+
+
+class TestMachineContext:
+    def test_read_charges(self):
+        ctx, __, ___ = _make()
+        assert ctx.read("a") == 1
+        assert ctx.reads == 1
+        assert ctx.communication == 1
+
+    def test_read_missing_returns_empty(self):
+        ctx, __, ___ = _make()
+        assert ctx.read("nope") is EMPTY
+
+    def test_indexed_read(self):
+        ctx, __, ___ = _make()
+        assert ctx.read_indexed("multi", 1) == 2
+
+    def test_count_charges_one(self):
+        ctx, __, ___ = _make()
+        assert ctx.count("multi") == 2
+        assert ctx.reads == 1
+
+    def test_write_goes_to_target(self):
+        ctx, __, nxt = _make()
+        ctx.write("out", 9)
+        assert nxt.read("out") == 9
+        assert ctx.writes == 1
+
+    def test_strict_budget_enforced(self):
+        ctx, __, ___ = _make(space=2, strict=True)
+        ctx.read("a")
+        ctx.read("a")
+        with pytest.raises(SpaceExceeded):
+            ctx.read("a")
+
+    def test_lenient_budget_records_only(self):
+        ctx, __, ___ = _make(space=1, strict=False)
+        for _ in range(5):
+            ctx.read("a")
+        assert ctx.reads == 5  # no exception

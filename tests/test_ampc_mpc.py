@@ -1,0 +1,53 @@
+"""Tests for the MPC broadcast-tree simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ampc.mpc import MPCSimulator
+
+
+class TestMPCSimulator:
+    def test_sharding_respects_space(self):
+        mpc = MPCSimulator(input_size=100, delta=0.5)
+        shards = mpc.shard(list(range(45)))
+        assert all(len(s) <= mpc.space_limit for s in shards)
+        assert sum(len(s) for s in shards) == 45
+
+    def test_empty_shard_list(self):
+        mpc = MPCSimulator(input_size=100)
+        assert mpc.shard([]) == [[]]
+
+    def test_aggregate_sums_correct(self):
+        mpc = MPCSimulator(input_size=100)
+        result = mpc.aggregate_sums([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        assert result == [9.0, 12.0]
+
+    def test_aggregate_charges_tree_depth(self):
+        mpc = MPCSimulator(input_size=10000, delta=0.5)
+        before = mpc.rounds
+        mpc.aggregate_sums([[1.0]])
+        assert mpc.rounds == before + mpc.tree_depth
+
+    def test_mismatched_vectors_rejected(self):
+        mpc = MPCSimulator(input_size=100)
+        with pytest.raises(ValueError):
+            mpc.aggregate_sums([[1.0], [1.0, 2.0]])
+
+    def test_broadcast_and_local_round(self):
+        mpc = MPCSimulator(input_size=100)
+        mpc.broadcast(words=3)
+        mpc.charge_local_round()
+        assert mpc.rounds == mpc.tree_depth + 1
+        assert mpc.max_message_words == 3
+
+    def test_tree_depth_constant_in_delta(self):
+        # Depth ~ log(P)/log(arity) = O(1/delta): small for these sizes.
+        mpc = MPCSimulator(input_size=10**6, delta=0.5)
+        assert mpc.tree_depth <= 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MPCSimulator(0)
+        with pytest.raises(ValueError):
+            MPCSimulator(10, delta=0)

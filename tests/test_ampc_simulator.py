@@ -1,0 +1,128 @@
+"""Tests for the AMPC round executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ampc.dds import EMPTY
+from repro.ampc.machine import SpaceExceeded
+from repro.ampc.simulator import AMPCSimulator
+
+
+class TestRounds:
+    def test_round_reads_previous_writes_next(self):
+        sim = AMPCSimulator(input_size=100, delta=0.5)
+        sim.load_input([("x", 7)])
+
+        def task(ctx):
+            ctx.write("y", ctx.read("x") + 1)
+
+        store = sim.round([("M0", task)])
+        assert store.read("y") == 8
+        assert sim.stats.num_rounds == 1
+
+    def test_adaptive_chained_reads(self):
+        # The defining AMPC power: g^k(y) via k dependent reads in a round.
+        sim = AMPCSimulator(input_size=1000, delta=0.5)
+        sim.load_input([(("g", i), i + 1) for i in range(10)])
+
+        def task(ctx):
+            value = 0
+            for _ in range(5):
+                value = ctx.read(("g", value))
+            ctx.write("result", value)
+
+        store = sim.round([("M0", task)])
+        assert store.read("result") == 5
+
+    def test_rounds_chain_stores(self):
+        sim = AMPCSimulator(input_size=100)
+        sim.load_input([("v", 1)])
+
+        def double(ctx):
+            ctx.write("v", ctx.read("v") * 2)
+
+        for _ in range(3):
+            sim.round([("M0", double)])
+        assert sim.current_store.read("v") == 8
+        assert sim.stats.num_rounds == 3
+
+    def test_reducer_collapses_multivalues(self):
+        sim = AMPCSimulator(input_size=100)
+
+        def writer(value):
+            def task(ctx):
+                ctx.write("k", value)
+
+            return task
+
+        store = sim.round([("A", writer(5)), ("B", writer(2))], reducer=min)
+        assert store.read("k") == 2
+
+    def test_stats_track_max_and_total(self):
+        sim = AMPCSimulator(input_size=100)
+        sim.load_input([("x", 0)])
+
+        def heavy(ctx):
+            for _ in range(4):
+                ctx.read("x")
+
+        def light(ctx):
+            ctx.read("x")
+
+        sim.round([("H", heavy), ("L", light)])
+        rs = sim.stats.rounds[0]
+        assert rs.max_reads == 4
+        assert rs.total_reads == 5
+        assert rs.machines_active == 2
+
+    def test_strict_space_enforcement(self):
+        sim = AMPCSimulator(input_size=16, delta=0.5, strict_space=True)
+        sim.load_input([("x", 0)])
+
+        def hog(ctx):
+            for _ in range(100):
+                ctx.read("x")
+
+        with pytest.raises(SpaceExceeded):
+            sim.round([("M", hog)])
+
+    def test_port_to_current(self):
+        sim = AMPCSimulator(input_size=100)
+        sim.round([])
+        sim.port_to_current([("ported", 1)])
+        assert sim.current_store.read("ported") == 1
+
+    def test_charge_rounds(self):
+        sim = AMPCSimulator(input_size=100)
+        sim.charge_rounds(3)
+        assert sim.stats.num_rounds == 3
+        with pytest.raises(ValueError):
+            sim.charge_rounds(-1)
+
+    def test_effective_delta(self):
+        sim = AMPCSimulator(input_size=1000)
+        sim.load_input([("x", 0)])
+
+        def task(ctx):
+            for _ in range(31):  # ~1000^0.5 reads
+                ctx.read("x")
+
+        sim.round([("M", task)])
+        assert 0.45 <= sim.stats.effective_delta() <= 0.55
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AMPCSimulator(0)
+        with pytest.raises(ValueError):
+            AMPCSimulator(10, delta=1.5)
+
+    def test_missing_key_propagates_empty(self):
+        sim = AMPCSimulator(input_size=100)
+        seen = []
+
+        def task(ctx):
+            seen.append(ctx.read("ghost"))
+
+        sim.round([("M", task)])
+        assert seen == [EMPTY]

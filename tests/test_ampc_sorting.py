@@ -1,0 +1,60 @@
+"""Tests for the broadcast-tree sorting primitive."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc.mpc import MPCSimulator
+from repro.ampc.sorting import broadcast_tree_sort
+
+
+class TestBroadcastTreeSort:
+    def test_sorts_integers(self):
+        mpc = MPCSimulator(input_size=100, delta=0.5)
+        result, report = broadcast_tree_sort(mpc, [5, 3, 9, 1, 1, 7])
+        assert result == [1, 1, 3, 5, 7, 9]
+        assert report.rounds_charged >= 2  # up-sweep + broadcast + route
+
+    def test_sorts_by_key(self):
+        mpc = MPCSimulator(input_size=64)
+        items = [("b", 2), ("a", 9), ("c", 1)]
+        result, __ = broadcast_tree_sort(mpc, items, key=lambda t: t[1])
+        assert [t[0] for t in result] == ["c", "b", "a"]
+
+    def test_empty_input(self):
+        mpc = MPCSimulator(input_size=16)
+        result, report = broadcast_tree_sort(mpc, [])
+        assert result == []
+        assert report.num_machines == 1
+
+    def test_constant_rounds_regardless_of_size(self):
+        small_mpc = MPCSimulator(input_size=10**2)
+        large_mpc = MPCSimulator(input_size=10**4)
+        __, small_report = broadcast_tree_sort(small_mpc, list(range(50))[::-1])
+        __, large_report = broadcast_tree_sort(
+            large_mpc, list(range(5000))[::-1]
+        )
+        # O(1/delta) both times, not growing with input size.
+        assert large_report.rounds_charged <= small_report.rounds_charged + 4
+
+    def test_bucket_balance_reported(self):
+        mpc = MPCSimulator(input_size=400, delta=0.5)
+        values = list(range(400))[::-1]
+        __, report = broadcast_tree_sort(mpc, values)
+        assert report.max_bucket >= 1
+        assert report.within_space  # uniform data balances fine
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_python_sorted(self, values):
+        mpc = MPCSimulator(input_size=max(len(values), 4))
+        result, __ = broadcast_tree_sort(mpc, values)
+        assert result == sorted(values)
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)), max_size=80))
+    @settings(max_examples=20, deadline=None)
+    def test_stable_semantics_by_full_key(self, pairs):
+        mpc = MPCSimulator(input_size=max(len(pairs), 4))
+        result, __ = broadcast_tree_sort(mpc, pairs)
+        assert result == sorted(pairs)

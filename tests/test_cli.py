@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestColorCommand:
+    def test_default_pipeline(self, capsys):
+        rc = main(["color", "--n", "60", "--k", "2", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "colors used" in out
+        assert "AMPC rounds" in out
+
+    def test_variant_selection(self, capsys):
+        rc = main(["color", "--n", "50", "--variant", "alpha_squared", "--alpha", "2"])
+        assert rc == 0
+        assert "variant=alpha_squared" in capsys.readouterr().out
+
+    def test_from_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 3\n")
+        rc = main(["color", "--input", str(path), "--alpha", "1"])
+        assert rc == 0
+        assert "n=4" in capsys.readouterr().out
+
+
+class TestPartitionCommand:
+    def test_reports_resources(self, capsys):
+        rc = main(["partition", "--n", "80", "--k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "layers:" in out
+        assert "valid: True" in out
+
+
+class TestExperimentsCommand:
+    def test_runs_by_prefix(self, capsys):
+        rc = main(["experiments", "E11"])
+        assert rc == 0
+        assert "alpha_exact" in capsys.readouterr().out
+
+    def test_unknown_prefix_errors(self, capsys):
+        rc = main(["experiments", "ZZ"])
+        assert rc == 1
+        assert "no experiment" in capsys.readouterr().err
+
+
+class TestInfoCommand:
+    def test_basic_stats(self, capsys):
+        rc = main(["info", "--n", "50", "--k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "degeneracy" in out
+
+    def test_exact_arboricity_flag(self, capsys):
+        rc = main(["info", "--n", "40", "--k", "2", "--exact"])
+        assert rc == 0
+        assert "exact arboricity" in capsys.readouterr().out
+
+    def test_generators(self, capsys):
+        for gen in ("tree", "grid", "pref-attach", "gnm"):
+            rc = main(["info", "--generator", gen, "--n", "30", "--k", "2"])
+            assert rc == 0
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,112 @@
+"""Tests for polynomial cover-free families."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.cover_free import CoverFreeFamily, choose_family
+from repro.util.primes import is_prime
+
+
+class TestChooseFamily:
+    def test_constraints_satisfied(self):
+        fam = choose_family(m=1000, beta=5)
+        assert is_prime(fam.q)
+        assert fam.q > fam.d * 5
+        assert fam.q ** (fam.d + 1) >= 1000
+
+    def test_small_m(self):
+        fam = choose_family(m=10, beta=2)
+        assert fam.target_colors >= 9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            choose_family(1, 3)
+        with pytest.raises(ValueError):
+            choose_family(10, 0)
+
+    @given(st.integers(4, 10**6), st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_family_always_valid(self, m, beta):
+        fam = choose_family(m, beta)
+        assert is_prime(fam.q)
+        assert fam.q > fam.d * beta
+        assert fam.q ** (fam.d + 1) >= m
+
+    def test_fixed_point_is_order_beta_squared(self):
+        # Once m ~ beta^2, the family cannot shrink further.
+        beta = 5
+        m = 10**6
+        while True:
+            fam = choose_family(m, beta)
+            if fam.target_colors >= m:
+                break
+            m = fam.target_colors
+        assert m <= 4 * (beta + 1) ** 2  # O(beta^2) fixed point
+
+
+class TestEncoding:
+    def test_coefficients_roundtrip(self):
+        fam = CoverFreeFamily(q=7, d=2, source_colors=300)
+        for color in (0, 1, 48, 299):
+            coefs = fam.coefficients(color)
+            assert len(coefs) == 3
+            assert sum(c * 7**i for i, c in enumerate(coefs)) == color
+
+    def test_distinct_colors_distinct_polynomials(self):
+        fam = CoverFreeFamily(q=5, d=1, source_colors=25)
+        seen = {tuple(fam.coefficients(c)) for c in range(25)}
+        assert len(seen) == 25
+
+    def test_out_of_range_color_rejected(self):
+        fam = CoverFreeFamily(q=5, d=1, source_colors=25)
+        with pytest.raises(ValueError):
+            fam.coefficients(25)
+
+    def test_evaluate_is_horner(self):
+        fam = CoverFreeFamily(q=7, d=2, source_colors=343)
+        color = 123  # coefficients (4, 3, 2): p(a) = 4 + 3a + 2a^2
+        for a in range(7):
+            assert fam.evaluate(color, a) == (4 + 3 * a + 2 * a * a) % 7
+
+
+class TestReduceColor:
+    def test_avoids_out_neighbors(self):
+        fam = choose_family(m=100, beta=3)
+        new = fam.reduce_color(42, [1, 2, 3], beta=3)
+        a, val = divmod(new, fam.q)
+        assert fam.evaluate(42, a) == val
+        for other in (1, 2, 3):
+            assert fam.evaluate(other, a) != val
+
+    def test_too_many_neighbors_rejected(self):
+        fam = choose_family(m=100, beta=2)
+        with pytest.raises(ValueError):
+            fam.reduce_color(0, [1, 2, 3], beta=2)
+
+    def test_new_color_in_target_palette(self):
+        fam = choose_family(m=64, beta=4)
+        for color in range(0, 64, 7):
+            new = fam.reduce_color(color, [c for c in (1, 5, 9) if c != color], 4)
+            assert 0 <= new < fam.target_colors
+
+    @given(
+        st.integers(0, 99),
+        st.lists(st.integers(0, 99), max_size=4, unique=True),
+    )
+    @settings(max_examples=60)
+    def test_proper_on_directed_edge(self, mine, neighbors):
+        """If u is in v's out-neighborhood, their new colors differ."""
+        neighbors = [c for c in neighbors if c != mine]
+        fam = choose_family(m=100, beta=4)
+        new_mine = fam.reduce_color(mine, neighbors, 4)
+        for other in neighbors:
+            their_nbrs = [mine]  # any choice: check directly
+            new_other = fam.reduce_color(other, their_nbrs, 4)
+            a_mine, val_mine = divmod(new_mine, fam.q)
+            a_other, val_other = divmod(new_other, fam.q)
+            if a_mine == a_other:
+                # v avoided u's value at a_mine => values differ.
+                assert val_mine != fam.evaluate(other, a_mine)

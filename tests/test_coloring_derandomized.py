@@ -1,0 +1,106 @@
+"""Tests for Theorem 1.5: deterministic MPC coloring."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.derandomized_mpc import deterministic_mpc_coloring
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_gnm,
+    star_graph,
+    union_of_random_forests,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.validation import is_proper_coloring
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        res = deterministic_mpc_coloring(Graph.from_edges(0, []), x=2)
+        assert res.colors == []
+
+    def test_edgeless_graph_single_color(self):
+        res = deterministic_mpc_coloring(Graph.from_edges(4, []), x=2)
+        assert res.colors == [0] * 4
+        assert res.num_colors == 1
+
+    def test_x_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            deterministic_mpc_coloring(path_graph(3), x=1)
+
+    def test_palette_bound(self):
+        g = random_gnm(60, 150, seed=1)
+        for x in (2, 4):
+            res = deterministic_mpc_coloring(g, x=x)
+            target = 2 * x * g.max_degree()
+            assert res.num_colors == 2 ** math.ceil(math.log2(target))
+            assert res.num_colors < 4 * x * g.max_degree()
+            assert all(0 <= c < res.num_colors for c in res.colors)
+
+
+class TestProperness:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(30),
+            cycle_graph(21),
+            star_graph(25),
+            complete_graph(9),
+        ],
+        ids=["path", "cycle", "star", "clique"],
+    )
+    def test_fixed_shapes(self, graph):
+        res = deterministic_mpc_coloring(graph, x=2)
+        assert is_proper_coloring(graph, res.colors)
+
+    @given(st.integers(min_value=0, max_value=2**31), st.sampled_from([2, 3, 5]))
+    @settings(max_examples=8, deadline=None)
+    def test_random_graphs(self, seed, x):
+        g = random_gnm(40, 80, seed=seed)
+        res = deterministic_mpc_coloring(g, x=x)
+        assert is_proper_coloring(g, res.colors)
+
+
+class TestDeterministicGuarantees:
+    def test_uncolored_decays_by_factor_x(self):
+        """The conditional-expectations invariant: |U_{i+1}| <= |U_i| / x."""
+        g = union_of_random_forests(120, 3, seed=2)
+        for x in (2, 3):
+            res = deterministic_mpc_coloring(g, x=x)
+            hist = res.uncolored_history
+            for before, after in zip(hist, hist[1:]):
+                assert after <= before / x
+
+    def test_phase_bound_log_x_n(self):
+        g = union_of_random_forests(100, 2, seed=3)
+        for x in (2, 4):
+            res = deterministic_mpc_coloring(g, x=x)
+            assert res.phases <= math.log(100) / math.log(x) + 1
+
+    def test_fully_deterministic(self):
+        g = random_gnm(50, 120, seed=4)
+        a = deterministic_mpc_coloring(g, x=2)
+        b = deterministic_mpc_coloring(g, x=2)
+        assert a.colors == b.colors
+        assert a.mpc_rounds == b.mpc_rounds
+
+    def test_batch_bits_affect_rounds_not_output_validity(self):
+        g = random_gnm(40, 70, seed=5)
+        wide = deterministic_mpc_coloring(g, x=2, batch_bits=4)
+        narrow = deterministic_mpc_coloring(g, x=2, batch_bits=1)
+        assert is_proper_coloring(g, wide.colors)
+        assert is_proper_coloring(g, narrow.colors)
+        assert narrow.mpc_rounds >= wide.mpc_rounds
+
+    def test_rounds_accounted(self):
+        g = random_gnm(30, 50, seed=6)
+        res = deterministic_mpc_coloring(g, x=2)
+        assert res.mpc_rounds > 0
+        assert res.max_message_words >= 1

@@ -1,0 +1,85 @@
+"""Tests for sequential coloring baselines."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.greedy import (
+    degeneracy_coloring,
+    greedy_coloring,
+    orientation_greedy_coloring,
+)
+from repro.core.orientation import orient_by_partition
+from repro.graphs.arboricity import degeneracy
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_gnm,
+    star_graph,
+    union_of_random_forests,
+)
+from repro.graphs.validation import count_colors, is_proper_coloring
+from repro.partition.induced import natural_beta_partition
+
+
+class TestGreedy:
+    def test_path_two_colors(self):
+        g = path_graph(10)
+        colors = greedy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert count_colors(g, colors) == 2
+
+    def test_clique_full_palette(self):
+        g = complete_graph(6)
+        colors = greedy_coloring(g)
+        assert count_colors(g, colors) == 6
+
+    def test_delta_plus_one_bound(self):
+        g = random_gnm(50, 120, seed=1)
+        colors = greedy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert max(colors) <= g.max_degree()
+
+    def test_custom_order(self):
+        g = star_graph(5)
+        colors = greedy_coloring(g, order=[1, 2, 3, 4, 0])
+        assert is_proper_coloring(g, colors)
+        assert colors[0] == 1  # hub colored last
+
+
+class TestDegeneracyColoring:
+    def test_tree_two_colors(self):
+        g = union_of_random_forests(60, 1, seed=2)
+        colors = degeneracy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert count_colors(g, colors) <= 2
+
+    def test_degeneracy_plus_one_bound(self):
+        for seed in range(4):
+            g = random_gnm(40, 100, seed=seed)
+            colors = degeneracy_coloring(g)
+            assert is_proper_coloring(g, colors)
+            assert max(colors) <= degeneracy(g)
+
+    def test_cycle_three_colors(self):
+        g = cycle_graph(9)
+        colors = degeneracy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert count_colors(g, colors) <= 3
+
+
+class TestOrientationGreedy:
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_out_degree_plus_one(self, seed, alpha):
+        g = union_of_random_forests(60, alpha, seed=seed)
+        beta = math.ceil(3 * alpha)
+        p = natural_beta_partition(g, beta)
+        ori = orient_by_partition(g, p)
+        colors = orientation_greedy_coloring(ori)
+        assert is_proper_coloring(g, colors)
+        assert max(colors) <= ori.max_out_degree()

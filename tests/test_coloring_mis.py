@@ -1,0 +1,76 @@
+"""Tests for MIS-from-coloring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.mis import (
+    is_independent_set,
+    is_maximal_independent_set,
+    mis_from_coloring,
+)
+from repro.coloring.pipeline import coloring_two_plus_eps
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_gnm,
+    star_graph,
+    union_of_random_forests,
+)
+
+
+class TestPredicates:
+    def test_independent(self):
+        g = path_graph(4)
+        assert is_independent_set(g, {0, 2})
+        assert not is_independent_set(g, {0, 1})
+
+    def test_maximal(self):
+        g = path_graph(5)
+        assert is_maximal_independent_set(g, {0, 2, 4})
+        assert not is_maximal_independent_set(g, {0, 4})  # vertex 2 addable
+        assert not is_maximal_independent_set(g, {0})  # 2, 3 or 4 addable
+
+    def test_maximal_rejects_dependent(self):
+        g = path_graph(3)
+        assert not is_maximal_independent_set(g, {0, 1})
+
+
+class TestMISFromColoring:
+    def test_clique_single_vertex(self):
+        g = complete_graph(6)
+        mis = mis_from_coloring(g, greedy_coloring(g))
+        assert len(mis) == 1
+
+    def test_star_takes_leaves(self):
+        g = star_graph(8)
+        mis = mis_from_coloring(g, greedy_coloring(g))
+        assert is_maximal_independent_set(g, mis)
+
+    def test_wrong_length_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            mis_from_coloring(g, [0, 1])
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs_maximal(self, seed):
+        g = random_gnm(40, 80, seed=seed)
+        mis = mis_from_coloring(g, greedy_coloring(g))
+        assert is_maximal_independent_set(g, mis)
+
+    def test_from_paper_pipeline_coloring(self):
+        """The paper's corollary: O(alpha) colors -> O(alpha)-round MIS."""
+        g = union_of_random_forests(80, 2, seed=1)
+        result = coloring_two_plus_eps(g, 2, eps=1.0)
+        mis = mis_from_coloring(g, result.colors)
+        assert is_maximal_independent_set(g, mis)
+
+    def test_deterministic(self):
+        g = cycle_graph(11)
+        colors = greedy_coloring(g)
+        assert mis_from_coloring(g, colors) == mis_from_coloring(g, colors)

@@ -1,0 +1,98 @@
+"""Tests for rake-and-compress forest decomposition and 3-coloring."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.rake_compress import rake_compress, three_color_forest
+from repro.graphs.generators import (
+    complete_ary_tree,
+    cycle_graph,
+    path_graph,
+    random_forest,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.validation import is_proper_coloring
+
+
+class TestDecomposition:
+    def test_path_single_phase(self):
+        # Endpoints rake, interior compresses: everything leaves at once.
+        res = rake_compress(path_graph(50))
+        assert res.phases == 1
+        assert res.orientation.max_out_degree() <= 2
+
+    def test_star_two_phases(self):
+        res = rake_compress(star_graph(10))
+        assert res.phases == 2  # leaves, then hub
+        assert res.removal_phase[0] == 2
+
+    def test_binary_tree_log_phases(self):
+        g = complete_ary_tree(2, 7)  # 255 vertices, depth 7
+        res = rake_compress(g)
+        assert res.phases <= 2 * (7 + 1)
+
+    def test_orientation_covers_every_edge(self):
+        g = random_tree(80, seed=1)
+        res = rake_compress(g)
+        assert sum(len(o) for o in res.orientation.out_neighbors) == g.num_edges
+
+    def test_orientation_acyclic(self):
+        g = random_tree(60, seed=2)
+        res = rake_compress(g)
+        assert res.orientation.is_acyclic()
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            rake_compress(cycle_graph(5))
+
+    def test_empty_and_singletons(self):
+        res = rake_compress(Graph.from_edges(3, []))
+        assert res.phases == 1
+        assert all(p == 1 for p in res.removal_phase)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_out_degree_two_on_random_forests(self, seed):
+        g = random_forest(60, 45, seed=seed)
+        res = rake_compress(g)
+        assert res.orientation.max_out_degree() <= 2
+        assert res.orientation.is_acyclic()
+
+    def test_phases_logarithmic_on_random_trees(self):
+        for seed in range(3):
+            n = 500
+            g = random_tree(n, seed=seed)
+            res = rake_compress(g)
+            assert res.phases <= 4 * math.log2(n)
+
+
+class TestThreeColoring:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_three_colors_on_random_trees(self, seed):
+        g = random_tree(70, seed=seed)
+        colors, __ = three_color_forest(g)
+        assert is_proper_coloring(g, colors)
+        assert set(colors) <= {0, 1, 2}
+
+    def test_three_colors_on_forest_with_isolated(self):
+        g = random_forest(50, 30, seed=3)
+        colors, __ = three_color_forest(g)
+        assert is_proper_coloring(g, colors)
+        assert max(colors) <= 2
+
+    def test_beats_generic_pipeline_on_forests(self):
+        # Generic ((2+eps)a+1) at alpha=1 guarantees 4; rake-compress: 3.
+        from repro.coloring.pipeline import coloring_two_plus_eps
+
+        g = random_tree(150, seed=4)
+        generic = coloring_two_plus_eps(g, 1, eps=1.0)
+        specialized, __ = three_color_forest(g)
+        assert len(set(specialized)) <= 3 <= generic.beta + 1

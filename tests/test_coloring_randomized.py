@@ -1,0 +1,74 @@
+"""Tests for the randomized Luby-style baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.randomized import luby_plus_one_coloring
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_gnm,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.validation import is_proper_coloring
+
+
+class TestLuby:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(25), cycle_graph(17), star_graph(20), complete_graph(7)],
+        ids=["path", "cycle", "star", "clique"],
+    )
+    def test_proper_on_fixed_shapes(self, graph):
+        res = luby_plus_one_coloring(graph, seed=1)
+        assert is_proper_coloring(graph, res.colors)
+
+    def test_palette_respects_degree_plus_one(self):
+        g = random_gnm(50, 110, seed=2)
+        res = luby_plus_one_coloring(g, seed=3)
+        assert is_proper_coloring(g, res.colors)
+        for v in g.vertices():
+            assert res.colors[v] <= g.degree(v)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_random_seeds_random_graphs(self, seed):
+        g = random_gnm(40, 70, seed=seed % 1000)
+        res = luby_plus_one_coloring(g, seed=seed)
+        assert is_proper_coloring(g, res.colors)
+
+    def test_logarithmic_rounds(self):
+        g = random_gnm(200, 500, seed=4)
+        res = luby_plus_one_coloring(g, seed=5)
+        assert res.local_rounds <= 4 * math.log2(200)
+
+    def test_reproducible_from_seed(self):
+        g = random_gnm(40, 70, seed=6)
+        a = luby_plus_one_coloring(g, seed=7)
+        b = luby_plus_one_coloring(g, seed=7)
+        assert a.colors == b.colors
+        assert a.local_rounds == b.local_rounds
+
+    def test_different_seeds_usually_differ(self):
+        g = random_gnm(60, 150, seed=8)
+        a = luby_plus_one_coloring(g, seed=1)
+        b = luby_plus_one_coloring(g, seed=2)
+        assert a.colors != b.colors
+
+    def test_edgeless(self):
+        g = Graph.from_edges(5, [])
+        res = luby_plus_one_coloring(g, seed=9)
+        assert res.colors == [0] * 5
+        assert res.local_rounds == 1
+
+    def test_round_cap_enforced(self):
+        g = complete_graph(8)
+        with pytest.raises(RuntimeError):
+            luby_plus_one_coloring(g, seed=10, max_rounds=0)

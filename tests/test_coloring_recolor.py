@@ -1,0 +1,108 @@
+"""Tests for cross-layer greedy recoloring (Section 6.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.recolor import (
+    greedy_recolor_by_layers,
+    recoloring_ampc_rounds,
+)
+from repro.graphs.generators import path_graph, union_of_random_forests
+from repro.graphs.validation import is_proper_coloring
+from repro.partition.beta_partition import PartialBetaPartition
+from repro.partition.induced import natural_beta_partition
+
+
+def _per_layer_greedy(graph, partition, beta):
+    """A simple proper-within-layer initial coloring for tests."""
+    colors = [0] * graph.num_vertices
+    for v in sorted(graph.vertices()):
+        taken = {
+            colors[int(w)]
+            for w in graph.neighbors(v)
+            if partition.layer(int(w)) == partition.layer(v) and int(w) < v
+        }
+        c = 0
+        while c in taken:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+class TestRecolor:
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_proper_with_beta_plus_one_colors(self, seed, alpha):
+        g = union_of_random_forests(70, alpha, seed=seed)
+        beta = math.ceil(3 * alpha)
+        p = natural_beta_partition(g, beta)
+        initial = _per_layer_greedy(g, p, beta)
+        res = greedy_recolor_by_layers(g, p, initial, beta)
+        assert is_proper_coloring(g, res.colors)
+        assert res.num_colors <= beta + 1
+        assert all(0 <= c <= beta for c in res.colors)
+
+    def test_lowest_pick_variant(self):
+        g = union_of_random_forests(50, 2, seed=1)
+        beta = 6
+        p = natural_beta_partition(g, beta)
+        initial = _per_layer_greedy(g, p, beta)
+        res = greedy_recolor_by_layers(g, p, initial, beta, pick="lowest")
+        assert is_proper_coloring(g, res.colors)
+        assert res.num_colors <= beta + 1
+
+    def test_order_processes_layers_top_down(self):
+        g = union_of_random_forests(40, 2, seed=2)
+        beta = 6
+        p = natural_beta_partition(g, beta)
+        initial = _per_layer_greedy(g, p, beta)
+        res = greedy_recolor_by_layers(g, p, initial, beta)
+        layers_in_order = [p.layer(v) for v in res.processed_order]
+        assert layers_in_order == sorted(layers_in_order, reverse=True)
+
+    def test_initial_colors_may_exceed_beta_palette(self):
+        # Section 6.4 variant: initial palette 4*beta is allowed.
+        g = path_graph(6)
+        p = PartialBetaPartition({v: 0 for v in range(6)})
+        initial = [10, 20, 10, 20, 10, 20]
+        res = greedy_recolor_by_layers(g, p, initial, beta=2)
+        assert is_proper_coloring(g, res.colors)
+        assert res.num_colors <= 3
+
+    def test_unlayered_vertex_rejected(self):
+        g = path_graph(3)
+        p = PartialBetaPartition({0: 0, 1: 0})
+        with pytest.raises(ValueError):
+            greedy_recolor_by_layers(g, p, [0, 1, 0], beta=2)
+
+    def test_improper_within_layer_rejected(self):
+        g = path_graph(3)
+        p = PartialBetaPartition({0: 0, 1: 0, 2: 0})
+        with pytest.raises(ValueError):
+            greedy_recolor_by_layers(g, p, [0, 0, 1], beta=2)
+
+    def test_wrong_length_rejected(self):
+        g = path_graph(3)
+        p = PartialBetaPartition({0: 0, 1: 0, 2: 0})
+        with pytest.raises(ValueError):
+            greedy_recolor_by_layers(g, p, [0, 1], beta=2)
+
+
+class TestRoundFormula:
+    def test_zero_layers(self):
+        assert recoloring_ampc_rounds(0, 5, 0.5, 100) == 0
+
+    def test_more_layers_more_rounds(self):
+        few = recoloring_ampc_rounds(4, 5, 0.5, 1000)
+        many = recoloring_ampc_rounds(40, 5, 0.5, 1000)
+        assert many >= few
+
+    def test_larger_beta_more_rounds(self):
+        small = recoloring_ampc_rounds(20, 3, 0.5, 10**6)
+        large = recoloring_ampc_rounds(20, 300, 0.5, 10**6)
+        assert large >= small

@@ -1,0 +1,56 @@
+"""Tests for Lemma 5.1: arboricity-oblivious β-partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.guessing import beta_partition_unknown_alpha
+from repro.graphs.generators import (
+    complete_graph,
+    path_graph,
+    union_of_random_forests,
+)
+from repro.graphs.graph import Graph
+
+
+class TestGuessing:
+    def test_tree_accepts_tiny_guess(self):
+        g = path_graph(20)
+        result = beta_partition_unknown_alpha(g)
+        assert result.guessed_alpha <= 2
+        assert not result.outcome.partition.is_partial(g.vertices())
+
+    def test_forest_union_completes_validly(self):
+        g = union_of_random_forests(80, 3, seed=1)
+        result = beta_partition_unknown_alpha(g)
+        beta = result.outcome.beta
+        assert result.outcome.partition.is_valid(g, beta)
+        assert not result.outcome.partition.is_partial(g.vertices())
+
+    def test_guess_close_to_true_alpha(self):
+        # alpha <= 3 here; the accepted guess never exceeds alpha by more
+        # than the (1+eps)^2 refinement slack (eps=1 -> factor 4).
+        g = union_of_random_forests(80, 3, seed=2)
+        result = beta_partition_unknown_alpha(g, eps=1.0)
+        assert result.guessed_alpha <= 4 * 3
+
+    def test_dense_graph_needs_larger_guess(self):
+        g = complete_graph(12)  # alpha = 6
+        result = beta_partition_unknown_alpha(g)
+        assert result.guessed_alpha >= 2
+        assert not result.outcome.partition.is_partial(g.vertices())
+
+    def test_attempt_log_records_failures(self):
+        g = complete_graph(12)
+        result = beta_partition_unknown_alpha(g)
+        assert any(not ok for __, ok in result.attempts) or result.attempts[0][1]
+        assert result.total_rounds >= result.outcome.rounds
+
+    def test_round_accounting_split(self):
+        g = union_of_random_forests(60, 2, seed=3)
+        result = beta_partition_unknown_alpha(g)
+        assert result.total_rounds == result.sequential_rounds + result.parallel_rounds
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            beta_partition_unknown_alpha(Graph.from_edges(0, []))

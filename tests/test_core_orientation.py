@@ -1,0 +1,85 @@
+"""Tests for partition-derived acyclic orientations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orientation import Orientation, orient_by_partition
+from repro.graphs.generators import (
+    complete_graph,
+    path_graph,
+    union_of_random_forests,
+)
+from repro.partition.beta_partition import PartialBetaPartition
+from repro.partition.induced import natural_beta_partition
+
+
+class TestOrientByPartition:
+    def test_edges_point_to_higher_layers(self):
+        g = path_graph(3)
+        p = PartialBetaPartition({0: 0, 1: 1, 2: 0})
+        ori = orient_by_partition(g, p)
+        assert ori.out_neighbors[0] == [1]
+        assert ori.out_neighbors[2] == [1]
+        assert ori.out_neighbors[1] == []
+
+    def test_same_layer_ties_by_id(self):
+        g = path_graph(3)
+        p = PartialBetaPartition({0: 0, 1: 0, 2: 0})
+        ori = orient_by_partition(g, p)
+        assert ori.out_neighbors[0] == [1]
+        assert ori.out_neighbors[1] == [2]
+
+    def test_unlayered_vertex_rejected(self):
+        g = path_graph(2)
+        with pytest.raises(ValueError):
+            orient_by_partition(g, PartialBetaPartition({0: 0}))
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_outdegree_bounded_by_beta_and_acyclic(self, seed, alpha):
+        g = union_of_random_forests(60, alpha, seed=seed)
+        beta = math.ceil(3 * alpha)
+        p = natural_beta_partition(g, beta)
+        ori = orient_by_partition(g, p)
+        assert ori.max_out_degree() <= beta
+        assert ori.is_acyclic()
+
+    def test_orientation_covers_every_edge_once(self):
+        g = union_of_random_forests(40, 2, seed=7)
+        p = natural_beta_partition(g, 6)
+        ori = orient_by_partition(g, p)
+        directed = sum(len(o) for o in ori.out_neighbors)
+        assert directed == g.num_edges
+
+
+class TestOrientationStructure:
+    def test_topological_order_edges_forward(self):
+        g = complete_graph(4)
+        p = PartialBetaPartition({v: 0 for v in range(4)})
+        ori = orient_by_partition(g, p)
+        order = ori.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for v, outs in enumerate(ori.out_neighbors):
+            for w in outs:
+                assert pos[v] < pos[w]
+
+    def test_cycle_detection(self):
+        g = complete_graph(3)
+        bad = Orientation(graph=g, out_neighbors=[[1], [2], [0]])
+        assert not bad.is_acyclic()
+        with pytest.raises(ValueError):
+            bad.topological_order()
+
+    def test_in_neighbors_are_reverse(self):
+        g = path_graph(4)
+        p = natural_beta_partition(g, 2)
+        ori = orient_by_partition(g, p)
+        incoming = ori.in_neighbors()
+        for v, outs in enumerate(ori.out_neighbors):
+            for w in outs:
+                assert v in incoming[w]

@@ -1,0 +1,129 @@
+"""Smoke + shape tests for the experiment harness (small parameters)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, format_value
+from repro.experiments.e1_lca_quality import run_lca_quality
+from repro.experiments.e2_game_bounds import run_game_bounds
+from repro.experiments.e3_theorem12 import run_theorem12, run_theorem12_deep
+from repro.experiments.e4_coloring_eps import run_coloring_eps
+from repro.experiments.e5_coloring_quadratic import run_coloring_quadratic
+from repro.experiments.e6_coloring_optimal import run_coloring_optimal
+from repro.experiments.e7_theorem15 import run_theorem15
+from repro.experiments.e8_guessing import run_guessing
+from repro.experiments.e9_constant_round import run_constant_round
+from repro.experiments.e10_vs_delta import run_vs_delta
+from repro.experiments.e11_substrate import run_substrate
+from repro.experiments.f1_layer_histogram import run_layer_histogram
+from repro.experiments.f2_exploration_ablation import run_exploration_ablation
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(3) == "3"
+        assert format_value(float("nan")) == "-"
+        assert format_value(0.5) == "0.5"
+
+    def test_format_table_roundtrip(self):
+        rows = [{"a": 1, "b": True}, {"a": 22, "b": False}]
+        table = format_table(rows, title="T")
+        assert "T" in table
+        assert "22" in table and "yes" in table
+
+    def test_empty_table(self):
+        assert "(no rows)" in format_table([], title="x")
+
+
+class TestE1:
+    def test_bounds_hold(self):
+        rows = run_lca_quality(ns=(80,), alphas=(1, 2), xs=(16,))
+        assert rows
+        for row in rows:
+            assert row["meets_bound"]
+            assert row["subset_valid"]
+            assert row["max_queries"] <= row["query_cap_x6"]
+            assert row["max_layer"] <= row["layer_cap"]
+
+
+class TestE2:
+    def test_bounds_hold(self):
+        rows = run_game_bounds(n=80, xs=(8, 16), num_roots=10)
+        for row in rows:
+            assert row["within_bounds"]
+            assert row["connected"]
+
+
+class TestE3:
+    def test_partitions_valid(self):
+        rows = run_theorem12(ns=(80,), alphas=(2,))
+        for row in rows:
+            assert row["valid"]
+            assert row["acyclic"]
+            assert row["max_outdeg"] <= row["beta"]
+
+    def test_deep_rounds_decrease_with_x(self):
+        rows = run_theorem12_deep(depths=(4,))
+        by_x = {row["x"]: row["rounds"] for row in rows}
+        assert by_x["x=b+1"] >= by_x["x=(b+1)^3"]
+
+
+class TestColoringExperiments:
+    def test_e4_shapes(self):
+        rows = run_coloring_eps(n=60, alphas=(2,), eps_values=(1.0,))
+        for row in rows:
+            assert row["colors"] <= row["palette"]
+
+    def test_e5_shapes(self):
+        rows = run_coloring_quadratic(n=60, alphas=(1, 2))
+        for row in rows:
+            assert row["colors"] <= row["palette"]
+
+    def test_e6_color_cap(self):
+        rows = run_coloring_optimal(n=50, alphas=(1, 2), methods=("kw",))
+        for row in rows:
+            assert row["colors"] <= row["cap=(2+e)a+1"]
+
+    def test_e7_decay(self):
+        rows = run_theorem15(ns=(50,), xs=(2,))
+        for row in rows:
+            assert row["decay>=x"]
+            assert row["palette"] <= row["cap_4xDelta"]
+
+    def test_e9_flat_rounds(self):
+        rows = run_constant_round(ns=(50, 100), alpha=2)
+        # Partition rounds must not grow with n at fixed alpha.
+        assert rows[0]["partition_rounds"] >= rows[-1]["partition_rounds"] - 1
+
+
+class TestE8E10E11:
+    def test_e8_overhead_bounded(self):
+        rows = run_guessing(ns=(60,), alphas=(2,))
+        for row in rows:
+            assert row["rounds_guessed"] >= row["rounds_known"]
+            assert row["overhead"] <= 20  # constant-factor claim
+
+    def test_e10_alpha_family_wins(self):
+        rows = run_vs_delta(ns=(150,), links=2)
+        for row in rows:
+            assert row["ours(2+e)a+1"] < row["MPC(2xD)"]
+
+    def test_e11_sandwich(self):
+        rows = run_substrate()
+        for row in rows:
+            assert row["sandwich_ok"]
+            assert row["lemma_3_4"]
+
+
+class TestFigures:
+    def test_f1_histogram_covers_all_vertices(self):
+        rows = run_layer_histogram(n=100, alpha=2, x=16)
+        assert sum(r["vertices"] for r in rows) == 100
+
+    def test_f2_adaptive_dominates(self):
+        rows = run_exploration_ablation(beta=3, chain_length=3, fan=15, decoy_fan=15)
+        by_name = {r["strategy"]: r for r in rows}
+        adaptive = by_name["adaptive_game"]
+        assert adaptive["certifies_layer"]
+        assert adaptive["D_coverage"] > by_name["naive_coins"]["D_coverage"]

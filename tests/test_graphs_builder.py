@@ -1,0 +1,53 @@
+"""Tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.builder import GraphBuilder
+
+
+class TestBuilder:
+    def test_build_basic(self):
+        b = GraphBuilder(4)
+        assert b.add_edge(0, 1)
+        assert b.add_edge(2, 3)
+        g = b.build()
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1)
+
+    def test_duplicate_returns_false(self):
+        b = GraphBuilder(3)
+        assert b.add_edge(0, 1)
+        assert not b.add_edge(1, 0)
+        assert len(b) == 1
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder(3)
+        with pytest.raises(ValueError):
+            b.add_edge(2, 2)
+
+    def test_out_of_range_rejected(self):
+        b = GraphBuilder(3)
+        with pytest.raises(ValueError):
+            b.add_edge(0, 3)
+
+    def test_has_edge(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 2)
+        assert b.has_edge(2, 0)
+        assert not b.has_edge(0, 1)
+        assert not b.has_edge(1, 1)
+
+    def test_add_edges_counts_new(self):
+        b = GraphBuilder(4)
+        assert b.add_edges([(0, 1), (1, 2), (0, 1)]) == 2
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(-1)
+
+    def test_empty_build(self):
+        g = GraphBuilder(5).build()
+        assert g.num_vertices == 5
+        assert g.num_edges == 0

@@ -1,0 +1,91 @@
+"""Tests for exact densest subgraph (Goldberg reduction)."""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.densest import densest_subgraph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+def _brute_force_density(g: Graph) -> Fraction:
+    best = Fraction(0)
+    vertices = list(g.vertices())
+    for size in range(1, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            sub, __ = g.subgraph(list(subset))
+            best = max(best, Fraction(sub.num_edges, size))
+    return best
+
+
+class TestKnownValues:
+    def test_clique(self):
+        density, witness = densest_subgraph(complete_graph(6))
+        assert density == Fraction(15, 6)
+        assert sorted(witness) == list(range(6))
+
+    def test_path(self):
+        density, __ = densest_subgraph(path_graph(5))
+        assert density == Fraction(4, 5)
+
+    def test_cycle(self):
+        density, witness = densest_subgraph(cycle_graph(7))
+        assert density == Fraction(1)
+        assert len(witness) == 7
+
+    def test_star(self):
+        density, __ = densest_subgraph(star_graph(9))
+        assert density == Fraction(8, 9)
+
+    def test_clique_plus_pendants(self):
+        # K5 with 10 pendant vertices: densest part is the clique alone.
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(i % 5, 5 + i) for i in range(10)]
+        g = Graph.from_edges(15, edges)
+        density, witness = densest_subgraph(g)
+        assert density == Fraction(10, 5)
+        assert sorted(witness) == [0, 1, 2, 3, 4]
+
+    def test_edgeless(self):
+        density, witness = densest_subgraph(Graph.from_edges(4, []))
+        assert density == Fraction(0)
+        assert witness == [0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            densest_subgraph(Graph.from_edges(0, []))
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.integers(min_value=1, max_value=7).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+                    .filter(lambda e: e[0] != e[1]),
+                    max_size=12,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_density_matches_enumeration(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        density, witness = densest_subgraph(g)
+        assert density == _brute_force_density(g)
+        # The witness must achieve the reported density.
+        sub, __ = g.subgraph(witness)
+        assert Fraction(sub.num_edges, sub.num_vertices) == density

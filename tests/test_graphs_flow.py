@@ -1,0 +1,94 @@
+"""Tests for Dinic max-flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.flow import FlowNetwork
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 1) == 5
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_parallel_paths_add(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 4)
+        net.add_edge(1, 3, 4)
+        net.add_edge(0, 2, 6)
+        net.add_edge(2, 3, 5)
+        assert net.max_flow(0, 3) == 9
+
+    def test_classic_clrs_network(self):
+        # CLRS figure 26.6 instance; known max flow 23.
+        net = FlowNetwork(6)
+        s, v1, v2, v3, v4, t = range(6)
+        net.add_edge(s, v1, 16)
+        net.add_edge(s, v2, 13)
+        net.add_edge(v1, v3, 12)
+        net.add_edge(v2, v1, 4)
+        net.add_edge(v2, v4, 14)
+        net.add_edge(v3, v2, 9)
+        net.add_edge(v3, t, 20)
+        net.add_edge(v4, v3, 7)
+        net.add_edge(v4, t, 4)
+        assert net.max_flow(s, t) == 23
+
+    def test_disconnected_zero_flow(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2)
+        net.add_edge(2, 3, 2)
+        assert net.max_flow(0, 3) == 0
+
+    def test_flow_requires_augmenting_via_residual(self):
+        # The greedy-blocking instance: needs residual (backward) edges.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(1, 2, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(2, 3, 1)
+        assert net.max_flow(0, 3) == 2
+
+    def test_source_equals_sink_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(1)
+
+
+class TestMinCut:
+    def test_cut_side_after_flow(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 5)
+        net.max_flow(0, 2)
+        side = net.min_cut_source_side(0)
+        assert side == {0}  # bottleneck at the first edge
+
+    def test_cut_value_equals_flow(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3)
+        net.add_edge(0, 2, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(2, 3, 3)
+        flow = net.max_flow(0, 3)
+        side = net.min_cut_source_side(0)
+        assert 0 in side and 3 not in side
+        assert flow == 4

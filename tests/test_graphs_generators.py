@@ -1,0 +1,165 @@
+"""Tests for graph generators and their certified properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.arboricity import degeneracy, exact_arboricity
+from repro.graphs.generators import (
+    complete_ary_tree,
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    hypercube,
+    path_graph,
+    preferential_attachment,
+    random_forest,
+    random_gnm,
+    random_tree,
+    skewed_dependency_gadget,
+    star_graph,
+    union_of_random_forests,
+)
+from repro.graphs.validation import is_forest
+from repro.partition.dependency import dependency_set
+from repro.partition.induced import natural_beta_partition
+
+
+class TestDeterministicShapes:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.max_degree() == 2
+        assert g.degree(0) == 1
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert g.max_degree() == 4
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_grid(self):
+        g = grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.num_vertices == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.num_edges == 32
+
+    def test_complete_ary_tree(self):
+        g = complete_ary_tree(3, 2)
+        assert g.num_vertices == 1 + 3 + 9
+        assert g.num_edges == g.num_vertices - 1
+        assert g.degree(0) == 3
+
+
+class TestRandomGenerators:
+    def test_random_tree_is_spanning_tree(self):
+        g = random_tree(50, seed=1)
+        assert g.num_edges == 49
+        assert is_forest(50, list(g.edges()))
+        assert len(g.connected_components()) == 1
+
+    def test_random_tree_deterministic(self):
+        assert random_tree(30, seed=5) == random_tree(30, seed=5)
+        assert random_tree(30, seed=5) != random_tree(30, seed=6)
+
+    def test_random_forest_edge_count_and_acyclicity(self):
+        g = random_forest(40, 25, seed=2)
+        assert g.num_edges == 25
+        assert is_forest(40, list(g.edges()))
+
+    def test_random_forest_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_forest(10, 10, seed=0)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_union_of_forests_arboricity_certificate(self, k):
+        g = union_of_random_forests(60, k, seed=3)
+        assert exact_arboricity(g) <= k
+
+    def test_union_of_forests_density_near_k(self):
+        g = union_of_random_forests(300, 3, seed=4)
+        # Dedup loses a few edges, but density stays close to k.
+        assert g.num_edges >= 2.5 * (g.num_vertices - 1)
+
+    def test_gnm_exact_edges(self):
+        g = random_gnm(30, 50, seed=5)
+        assert g.num_edges == 50
+
+    def test_gnm_too_dense_rejected(self):
+        with pytest.raises(ValueError):
+            random_gnm(4, 7, seed=0)
+
+    def test_preferential_attachment_degeneracy(self):
+        g = preferential_attachment(200, 3, seed=6)
+        assert degeneracy(g) <= 3
+        assert g.max_degree() > 6  # hubs emerge
+
+    def test_preferential_attachment_tiny_n(self):
+        g = preferential_attachment(3, 5, seed=0)
+        assert g == complete_graph(3)
+
+
+class TestSkewedGadget:
+    def test_chain_layers_strictly_decreasing(self):
+        beta, length = 3, 4
+        g, chain = skewed_dependency_gadget(beta, length, fan=5)
+        nat = natural_beta_partition(g, beta)
+        layers = [nat.layer(c) for c in chain]
+        assert layers == [length - i for i in range(length)]
+        assert nat.is_valid(g, beta)
+
+    def test_dependency_graph_contains_chain(self):
+        beta = 2
+        g, chain = skewed_dependency_gadget(beta, 3, fan=4)
+        nat = natural_beta_partition(g, beta)
+        dep = dependency_set(g, nat, chain[0])
+        assert set(chain) <= dep
+
+    def test_decoy_outside_dependency_graph(self):
+        beta, length = 3, 3
+        g, chain = skewed_dependency_gadget(beta, length, fan=4, decoy_fan=6)
+        nat = natural_beta_partition(g, beta)
+        decoy = length  # documented: first fresh id
+        assert nat.layer(decoy) == nat.layer(chain[0])  # same layer as w_0
+        dep = dependency_set(g, nat, chain[0])
+        assert decoy not in dep
+        assert nat.is_valid(g, beta)
+
+    def test_decoy_has_high_degree(self):
+        beta, length = 2, 3
+        g, chain = skewed_dependency_gadget(beta, length, fan=2, decoy_fan=10)
+        assert g.degree(length) == 10 + 1  # trees + w_0
+
+    def test_small_decoy_fan_rejected(self):
+        with pytest.raises(ValueError):
+            skewed_dependency_gadget(3, 3, fan=2, decoy_fan=2)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            skewed_dependency_gadget(1, 3, fan=2)
+        with pytest.raises(ValueError):
+            skewed_dependency_gadget(2, 0, fan=2)
+
+    def test_gadget_arboricity_is_one_tree_like(self):
+        # Chain + pendant trees + fans = a tree plus the chain edges: still
+        # arboricity 1 (it is connected and acyclic by construction).
+        g, __ = skewed_dependency_gadget(2, 3, fan=3)
+        assert is_forest(g.num_vertices, list(g.edges()))

@@ -1,0 +1,140 @@
+"""Tests for the CSR Graph class."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+
+edge_lists = st.integers(min_value=2, max_value=20).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+            .filter(lambda e: e[0] != e[1]),
+            max_size=40,
+        ),
+    )
+)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+
+    def test_duplicate_edges_merged(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(0, 3)])
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+    def test_isolated_vertices(self):
+        g = Graph.from_edges(5, [(0, 1)])
+        assert g.degree(4) == 0
+        assert list(g.neighbors(4)) == []
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph.from_edges(5, [(2, 4), (2, 0), (2, 3)])
+        assert list(g.neighbors(2)) == [0, 3, 4]
+
+    def test_neighbor_indexing(self):
+        g = Graph.from_edges(4, [(1, 0), (1, 3)])
+        assert g.neighbor(1, 0) == 0
+        assert g.neighbor(1, 1) == 3
+        with pytest.raises(IndexError):
+            g.neighbor(1, 2)
+
+    def test_has_edge(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 1)
+
+    def test_edges_iterates_each_once(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        g = Graph.from_edges(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    def test_degrees_vector(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 2)])
+        assert list(g.degrees()) == [2, 1, 1]
+        assert g.max_degree() == 2
+
+    @given(edge_lists)
+    @settings(max_examples=60)
+    def test_handshake_and_symmetry(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        assert int(g.degrees().sum()) == 2 * g.num_edges
+        for u in range(n):
+            for w in g.neighbors(u):
+                assert g.has_edge(int(w), u)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, mapping = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert mapping == {1: 0, 2: 1, 3: 2}
+
+    def test_subgraph_drops_outside_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        sub, __ = g.subgraph([0, 2])
+        assert sub.num_edges == 0
+
+    def test_duplicate_vertices_rejected(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.subgraph([0, 0])
+
+    @given(edge_lists)
+    @settings(max_examples=40)
+    def test_full_subgraph_is_isomorphic_identity(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        sub, mapping = g.subgraph(list(range(n)))
+        assert mapping == {v: v for v in range(n)}
+        assert sub == g
+
+
+class TestComponents:
+    def test_connected_path(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.connected_components() == [[0, 1, 2, 3]]
+
+    def test_two_components_plus_isolated(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        assert g.connected_components() == [[0, 1], [2, 3], [4]]
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)])
+        b = Graph.from_edges(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self):
+        a = Graph.from_edges(3, [(0, 1)])
+        b = Graph.from_edges(3, [(0, 2)])
+        assert a != b

@@ -1,0 +1,62 @@
+"""Tests for graph serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import union_of_random_forests
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    graph_from_json,
+    graph_to_json,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = union_of_random_forests(40, 2, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded == g
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n1 2  # inline comment\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=5)
+        assert g.num_vertices == 5
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+class TestJson:
+    def test_roundtrip(self):
+        g = union_of_random_forests(30, 3, seed=2)
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(4, [])
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_json('{"format": "other"}')

@@ -1,0 +1,86 @@
+"""Tests for the failing exploration baselines (Section 2.1)."""
+
+from __future__ import annotations
+
+from repro.graphs.generators import path_graph, skewed_dependency_gadget, star_graph
+from repro.lca.baselines import bfs_explore, dfs_explore, naive_coin_explore
+from repro.lca.coin_game import CoinDroppingGame
+from repro.lca.oracle import GraphOracle
+from repro.partition.dependency import dependency_set
+from repro.partition.induced import natural_beta_partition
+
+
+class TestBFS:
+    def test_explores_in_distance_order(self):
+        g = path_graph(6)
+        explored = bfs_explore(GraphOracle(g), 0, query_budget=7)
+        # Budget 7: explore(0)=2 probes, explore(1)=3, explore(2)=3 stops.
+        assert 0 in explored and 1 in explored
+
+    def test_budget_zero_explores_nothing(self):
+        g = path_graph(4)
+        assert bfs_explore(GraphOracle(g), 0, query_budget=0) == set()
+
+    def test_large_budget_covers_component(self):
+        g = star_graph(8)
+        explored = bfs_explore(GraphOracle(g), 0, query_budget=10**6)
+        assert explored == set(range(8))
+
+
+class TestDFS:
+    def test_dives_deep_first(self):
+        g = path_graph(10)
+        # Budget check happens before each explore: 2+3+3+3 = 11 < 12, so a
+        # fifth vertex still gets explored before the budget trips.
+        explored = dfs_explore(GraphOracle(g), 0, query_budget=12)
+        assert explored == {0, 1, 2, 3, 4}
+
+    def test_large_budget_covers_component(self):
+        g = star_graph(8)
+        explored = dfs_explore(GraphOracle(g), 0, query_budget=10**6)
+        assert explored == set(range(8))
+
+
+class TestNaiveCoins:
+    def test_spreads_uniformly(self):
+        g = star_graph(5)
+        explored = naive_coin_explore(GraphOracle(g), 0, x=16)
+        assert explored == set(range(5))
+
+    def test_too_few_coins_stall(self):
+        g = star_graph(9)
+        # 4 coins < degree 8: the hub can never forward.
+        explored = naive_coin_explore(GraphOracle(g), 0, x=4)
+        assert explored == {0}
+
+
+class TestSeparationOnGadget:
+    """The paper's qualitative claim: with comparable budgets the adaptive
+    game certifies w_0's layer and the baselines do not."""
+
+    def test_adaptive_beats_naive(self):
+        beta, length, fan = 3, 4, 30
+        g, chain = skewed_dependency_gadget(beta, length, fan, decoy_fan=20)
+        natural = natural_beta_partition(g, beta)
+        target = dependency_set(g, natural, chain[0])
+        x = (beta + 1) ** length
+        adaptive = CoinDroppingGame(GraphOracle(g), chain[0], x, beta).run()
+        assert adaptive.layer == natural.layer(chain[0])
+        naive = naive_coin_explore(GraphOracle(g), chain[0], x)
+        adaptive_cov = len(adaptive.explored & target) / len(target)
+        naive_cov = len(naive & target) / len(target)
+        assert adaptive_cov > 2 * naive_cov
+
+    def test_adaptive_beats_bfs_and_dfs_at_equal_budget(self):
+        beta, length, fan = 3, 4, 30
+        g, chain = skewed_dependency_gadget(beta, length, fan, decoy_fan=40)
+        natural = natural_beta_partition(g, beta)
+        target = dependency_set(g, natural, chain[0])
+        x = (beta + 1) ** length
+        adaptive = CoinDroppingGame(GraphOracle(g), chain[0], x, beta).run()
+        budget = adaptive.queries
+        bfs = bfs_explore(GraphOracle(g), chain[0], budget)
+        dfs = dfs_explore(GraphOracle(g), chain[0], budget)
+        adaptive_cov = len(adaptive.explored & target) / len(target)
+        assert adaptive_cov > len(bfs & target) / len(target)
+        assert adaptive_cov > len(dfs & target) / len(target)

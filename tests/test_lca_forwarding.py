@@ -1,0 +1,46 @@
+"""Tests for forwarding sets (Definition 4.1)."""
+
+from __future__ import annotations
+
+from repro.lca.forwarding import forwarding_set
+from repro.partition.beta_partition import INFINITY
+
+
+class TestForwardingSet:
+    def test_small_degree_takes_all(self):
+        fset = forwarding_set([1, 2], {1: 0, 2: 1}, {1, 2}, beta=3)
+        assert sorted(fset) == [1, 2]
+
+    def test_size_is_beta_plus_one(self):
+        neighbors = list(range(10))
+        layers = {w: w for w in neighbors}
+        fset = forwarding_set(neighbors, layers, set(neighbors), beta=3)
+        assert len(fset) == 4
+
+    def test_picks_highest_layers(self):
+        neighbors = [1, 2, 3, 4, 5]
+        layers = {1: 0, 2: 5, 3: 2, 4: 9, 5: 1}
+        fset = forwarding_set(neighbors, layers, set(neighbors), beta=1)
+        assert sorted(fset) == [2, 4]
+
+    def test_infinity_beats_finite(self):
+        neighbors = [1, 2, 3]
+        layers = {1: 100, 2: INFINITY}
+        # 3 missing from layers => infinity as well.
+        fset = forwarding_set(neighbors, layers, {1, 2}, beta=1)
+        assert sorted(fset) == [2, 3]
+
+    def test_unexplored_preferred_among_infinity(self):
+        neighbors = [5, 6, 7]
+        layers = {5: INFINITY, 6: INFINITY, 7: INFINITY}
+        fset = forwarding_set(neighbors, layers, {5}, beta=1)
+        # 6 and 7 unexplored: chosen before explored-but-infinity 5.
+        assert sorted(fset) == [6, 7]
+
+    def test_id_tiebreak_is_deterministic(self):
+        neighbors = [9, 3, 7]
+        fset = forwarding_set(neighbors, {}, set(), beta=1)
+        assert fset == [3, 7]
+
+    def test_empty_neighbors(self):
+        assert forwarding_set([], {}, set(), beta=2) == []

@@ -1,0 +1,44 @@
+"""Tests for the probe-counting graph oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import path_graph, star_graph
+from repro.lca.oracle import GraphOracle
+
+
+class TestOracle:
+    def test_degree_probe_counts(self):
+        oracle = GraphOracle(path_graph(4))
+        assert oracle.degree(1) == 2
+        assert oracle.stats.degree_probes == 1
+        assert oracle.stats.total == 1
+
+    def test_neighbor_probe_counts(self):
+        oracle = GraphOracle(path_graph(4))
+        assert oracle.neighbor(1, 0) == 0
+        assert oracle.neighbor(1, 1) == 2
+        assert oracle.stats.neighbor_probes == 2
+
+    def test_explore_costs_degree_plus_edges(self):
+        oracle = GraphOracle(star_graph(6))
+        nbrs = oracle.explore(0)
+        assert sorted(nbrs) == [1, 2, 3, 4, 5]
+        assert oracle.stats.total == 1 + 5
+
+    def test_invalid_index_raises(self):
+        oracle = GraphOracle(path_graph(3))
+        with pytest.raises(IndexError):
+            oracle.neighbor(0, 5)
+
+    def test_reset(self):
+        oracle = GraphOracle(path_graph(3))
+        oracle.explore(1)
+        oracle.reset()
+        assert oracle.stats.total == 0
+
+    def test_num_vertices_is_free(self):
+        oracle = GraphOracle(path_graph(7))
+        assert oracle.num_vertices == 7
+        assert oracle.stats.total == 0

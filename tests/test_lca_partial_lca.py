@@ -1,0 +1,83 @@
+"""Tests for the partial β-partition LCA (Lemma 4.7 / Remark 4.8)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.generators import union_of_random_forests
+from repro.lca.partial_partition_lca import (
+    PartialPartitionLCA,
+    lca_success_fraction_bound,
+)
+from repro.partition.beta_partition import INFINITY
+from repro.partition.dependency import dependency_set
+from repro.partition.induced import natural_beta_partition
+
+
+class TestSuccessBound:
+    def test_zero_when_beta_too_small(self):
+        assert lca_success_fraction_bound(64, 4, 2) == 0.0
+
+    def test_increases_with_x(self):
+        small = lca_success_fraction_bound(8, 9, 3)
+        large = lca_success_fraction_bound(512, 9, 3)
+        assert large >= small
+
+    def test_never_exceeds_one(self):
+        assert lca_success_fraction_bound(10**9, 30, 1) <= 1.0
+
+
+class TestLCA:
+    def setup_method(self):
+        self.alpha = 2
+        self.eps = 1.0
+        self.beta = math.ceil((2 + self.eps) * self.alpha)
+        self.graph = union_of_random_forests(120, self.alpha, seed=55)
+        self.x = (self.beta + 1) ** 2
+        self.lca = PartialPartitionLCA(self.graph, x=self.x, beta=self.beta)
+
+    def test_query_bound(self):
+        for v in range(0, 120, 13):
+            res = self.lca.query(v)
+            assert res.queries <= self.x**6
+
+    def test_query_matches_natural_for_small_dependencies(self):
+        natural = natural_beta_partition(self.graph, self.beta)
+        for v in range(0, 120, 9):
+            dep = dependency_set(self.graph, natural, v)
+            res = self.lca.query(v)
+            if len(dep) <= self.x**2 and natural.layer(v) <= self.lca.max_layer:
+                assert res.layer == natural.layer(v)
+
+    def test_query_all_meets_fraction_bound(self):
+        merged, __ = self.lca.query_all()
+        layered = [
+            v for v in self.graph.vertices() if merged.layer(v) != INFINITY
+        ]
+        bound = lca_success_fraction_bound(self.x, self.beta, self.alpha)
+        assert len(layered) / self.graph.num_vertices >= bound
+
+    def test_merged_partition_is_valid_partial(self):
+        merged, __ = self.lca.query_all()
+        assert merged.is_valid(self.graph, self.beta)
+
+    def test_merged_subset_is_beta_partition_of_induced_subgraph(self):
+        merged, __ = self.lca.query_all()
+        layered = {
+            v for v in self.graph.vertices() if merged.layer(v) != INFINITY
+        }
+        assert merged.is_valid_on_subset(self.graph, self.beta, layered)
+
+    def test_layer_count_within_cap(self):
+        merged, __ = self.lca.query_all()
+        assert merged.max_layer() <= self.lca.max_layer
+
+    def test_queries_are_independent(self):
+        a = self.lca.query(3)
+        b = self.lca.query(3)
+        assert a.layer == b.layer
+        assert a.explored == b.explored
+
+    def test_query_subset_only(self):
+        merged, results = self.lca.query_all(vertices=[0, 1, 2])
+        assert set(results) == {0, 1, 2}

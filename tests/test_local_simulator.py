@@ -1,0 +1,60 @@
+"""Tests for the synchronous LOCAL simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.local.simulator import LocalSimulator
+
+
+class TestLocalSimulator:
+    def test_initial_state_length_checked(self):
+        with pytest.raises(ValueError):
+            LocalSimulator(path_graph(3), [0, 1])
+
+    def test_step_is_synchronous(self):
+        # Max-propagation on a path: after r rounds, value spreads r hops.
+        g = path_graph(5)
+        sim = LocalSimulator(g, [0, 0, 0, 0, 9])
+
+        def spread(v, mine, nbrs):
+            return max([mine] + nbrs)
+
+        sim.step(spread)
+        assert sim.states == [0, 0, 0, 9, 9]
+        sim.step(spread)
+        assert sim.states == [0, 0, 9, 9, 9]
+        assert sim.rounds == 2
+
+    def test_step_directed_sees_only_out_neighbors(self):
+        g = path_graph(3)
+        out = [[1], [2], []]  # 0 -> 1 -> 2
+        sim = LocalSimulator(g, [0, 0, 7])
+
+        def pull(v, mine, outs):
+            return max([mine] + outs)
+
+        sim.step_directed(out, pull)
+        assert sim.states == [0, 7, 7]  # vertex 0 sees only vertex 1
+
+    def test_run_until_fixpoint(self):
+        g = cycle_graph(4)
+        sim = LocalSimulator(g, [3, 0, 0, 0])
+
+        def spread(v, mine, nbrs):
+            return max([mine] + nbrs)
+
+        rounds = sim.run_until_fixpoint(spread, max_rounds=10)
+        assert sim.states == [3, 3, 3, 3]
+        assert rounds <= 4
+
+    def test_fixpoint_respects_cap(self):
+        g = path_graph(2)
+        sim = LocalSimulator(g, [0, 1])
+
+        def alternate(v, mine, nbrs):
+            return 1 - mine
+
+        sim.run_until_fixpoint(alternate, max_rounds=5)
+        assert sim.rounds == 5

@@ -1,0 +1,88 @@
+"""Tests for dependency graphs: Definition 3.9, Observation 3.10, Lemma 3.11."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_ary_tree,
+    path_graph,
+    star_graph,
+    union_of_random_forests,
+)
+from repro.partition.beta_partition import INFINITY, PartialBetaPartition
+from repro.partition.dependency import dependency_set, dependency_sizes
+from repro.partition.induced import natural_beta_partition
+from repro.util.rng import SplitMix64
+
+
+class TestDefinition39:
+    def test_infinity_vertex_empty(self):
+        g = path_graph(3)
+        p = PartialBetaPartition({0: INFINITY, 1: 0, 2: 0})
+        assert dependency_set(g, p, 0) == set()
+
+    def test_layer_zero_is_singleton(self):
+        g = path_graph(3)
+        p = natural_beta_partition(g, 2)
+        assert dependency_set(g, p, 1) == {1}
+
+    def test_star_hub_depends_on_leaves(self):
+        g = star_graph(5)
+        p = natural_beta_partition(g, 1)
+        assert dependency_set(g, p, 0) == set(range(5))
+
+    def test_tree_root_depends_on_whole_tree(self):
+        beta = 2
+        g = complete_ary_tree(beta + 1, 2)
+        p = natural_beta_partition(g, beta)
+        assert dependency_set(g, p, 0) == set(g.vertices())
+
+    def test_strictly_decreasing_only(self):
+        # Two hubs sharing leaves: each hub's dependency excludes the other
+        # (same layer).
+        from repro.graphs.graph import Graph
+
+        edges = [(0, i) for i in range(2, 6)] + [(1, i) for i in range(2, 6)]
+        g = Graph.from_edges(6, edges)
+        p = natural_beta_partition(g, 2)
+        assert p.layer(0) == p.layer(1) == 1
+        dep = dependency_set(g, p, 0)
+        assert 1 not in dep
+
+
+class TestObservation310Nesting:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_nested(self, seed):
+        g = union_of_random_forests(50, 2, seed=seed)
+        p = natural_beta_partition(g, 5)
+        rng = SplitMix64(seed)
+        v = rng.randrange(g.num_vertices)
+        dep_v = dependency_set(g, p, v)
+        for w in dep_v:
+            assert dependency_set(g, p, w) <= dep_v
+
+
+class TestLemma311:
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(3, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_at_most_beta_neighbors_outside(self, seed, beta):
+        g = union_of_random_forests(50, 2, seed=seed)
+        p = natural_beta_partition(g, beta)
+        for v in g.vertices():
+            if p.layer(v) == INFINITY:
+                continue
+            dep = dependency_set(g, p, v)
+            outside = sum(1 for w in g.neighbors(v) if int(w) not in dep)
+            assert outside <= beta
+
+
+class TestDependencySizes:
+    def test_matches_individual(self):
+        g = union_of_random_forests(30, 2, seed=9)
+        p = natural_beta_partition(g, 5)
+        sizes = dependency_sizes(g, p)
+        for v in g.vertices():
+            assert sizes[v] == len(dependency_set(g, p, v))

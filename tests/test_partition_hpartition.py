@@ -1,0 +1,48 @@
+"""Tests for the Barenboim-Elkin H-partition peeler."""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.generators import (
+    complete_graph,
+    path_graph,
+    union_of_random_forests,
+)
+from repro.partition.hpartition import h_partition
+
+
+class TestHPartition:
+    def test_path_single_round(self):
+        res = h_partition(path_graph(6), 2)
+        assert res.completed
+        assert res.rounds == 1
+        assert res.partition.size() == 1
+
+    def test_clique_below_threshold_incomplete(self):
+        res = h_partition(complete_graph(5), 2)
+        assert not res.completed
+        assert res.rounds == 0
+
+    def test_forest_union_completes(self):
+        alpha, eps = 3, 1.0
+        g = union_of_random_forests(150, alpha, seed=20)
+        beta = math.ceil((2 + eps) * alpha)
+        res = h_partition(g, beta)
+        assert res.completed
+        assert res.partition.is_valid(g, beta)
+
+    def test_size_logarithmic_bound(self):
+        # Lemma 3.4: each peel keeps < 2a/b of the vertices, so the number
+        # of layers is at most log_{b/2a}(n) + 1.
+        alpha, eps = 2, 1.0
+        g = union_of_random_forests(400, alpha, seed=21)
+        beta = math.ceil((2 + eps) * alpha)
+        res = h_partition(g, beta)
+        bound = math.log(g.num_vertices) / math.log(beta / (2 * alpha)) + 1
+        assert res.partition.size() <= bound
+
+    def test_rounds_equal_layers(self):
+        g = union_of_random_forests(100, 2, seed=22)
+        res = h_partition(g, 5)
+        assert res.rounds == res.partition.size()

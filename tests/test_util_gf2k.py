@@ -1,0 +1,125 @@
+"""Tests for GF(2^k) field arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.gf2k import GF2kField, _is_irreducible
+
+
+class TestFieldConstruction:
+    @pytest.mark.parametrize("k", list(range(1, 17)) + [20, 24, 32])
+    def test_modulus_is_irreducible(self, k):
+        field = GF2kField(k)
+        assert field.modulus.bit_length() == k + 1
+        assert _is_irreducible(field.modulus, k)
+
+    def test_unsupported_degree_rejected(self):
+        with pytest.raises(ValueError):
+            GF2kField(0)
+        with pytest.raises(ValueError):
+            GF2kField(33)
+
+
+class TestSmallFieldExhaustive:
+    """GF(8) is small enough to verify the field axioms exhaustively."""
+
+    def setup_method(self):
+        self.f = GF2kField(3)
+
+    def test_multiplication_commutative(self):
+        f = self.f
+        for a in range(8):
+            for b in range(8):
+                assert f.mul(a, b) == f.mul(b, a)
+
+    def test_multiplication_associative(self):
+        f = self.f
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+    def test_distributive(self):
+        f = self.f
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert f.mul(a, b ^ c) == f.mul(a, b) ^ f.mul(a, c)
+
+    def test_one_is_identity(self):
+        for a in range(8):
+            assert self.f.mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(8):
+            assert self.f.mul(a, 0) == 0
+
+    def test_nonzero_elements_form_group(self):
+        # Every nonzero element has an inverse; products of nonzero are
+        # nonzero (no zero divisors).
+        f = self.f
+        for a in range(1, 8):
+            inv = f.inverse(a)
+            assert f.mul(a, inv) == 1
+            for b in range(1, 8):
+                assert f.mul(a, b) != 0
+
+    def test_multiplication_by_unit_is_bijective(self):
+        f = self.f
+        for a in range(1, 8):
+            image = {f.mul(a, b) for b in range(8)}
+            assert image == set(range(8))
+
+
+class TestLargerFields:
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=50)
+    def test_gf65536_commutes_and_distributes(self, a, b):
+        f = GF2kField(16)
+        assert f.mul(a, b) == f.mul(b, a)
+        assert f.mul(a, b ^ 1) == f.mul(a, b) ^ f.mul(a, 1)
+
+    @given(st.integers(1, 2**12 - 1))
+    @settings(max_examples=30)
+    def test_inverse_roundtrip(self, a):
+        f = GF2kField(12)
+        assert f.mul(a, f.inverse(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF2kField(8).inverse(0)
+
+    def test_pow_matches_repeated_mul(self):
+        f = GF2kField(8)
+        a = 0x57
+        acc = 1
+        for e in range(10):
+            assert f.pow(a, e) == acc
+            acc = f.mul(acc, a)
+
+    def test_fermat_exponent(self):
+        # a^(2^k - 1) = 1 for nonzero a.
+        f = GF2kField(10)
+        for a in (1, 2, 3, 1000, 1023):
+            assert f.pow(a, f.order - 1) == 1
+
+
+class TestMulMatrix:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60)
+    def test_matrix_rows_reproduce_multiplication(self, s, w):
+        f = GF2kField(8)
+        rows = f.mul_matrix_rows(w)
+        product = f.mul(s, w)
+        for i, row in enumerate(rows):
+            expected_bit = (product >> i) & 1
+            parity = bin(row & s).count("1") % 2
+            assert parity == expected_bit
+
+    def test_matrix_of_one_is_identity(self):
+        f = GF2kField(6)
+        rows = f.mul_matrix_rows(1)
+        assert rows == [1 << i for i in range(6)]

@@ -1,0 +1,123 @@
+"""Tests for the pairwise-independent hash family (Theorem 1.5 substrate)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.gf2 import GF2System
+from repro.util.hashing import PairwiseHashFamily
+
+
+class TestBasics:
+    def test_output_range(self):
+        fam = PairwiseHashFamily(universe_size=100, num_colors_log2=4)
+        for seed in (0, 1, 12345, (1 << fam.seed_bits) - 1):
+            for u in (0, 50, 99):
+                assert 0 <= fam.evaluate(seed, u) < 16
+
+    def test_out_of_universe_rejected(self):
+        fam = PairwiseHashFamily(10, 3)
+        with pytest.raises(ValueError):
+            fam.evaluate(0, 10)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseHashFamily(0, 3)
+        with pytest.raises(ValueError):
+            PairwiseHashFamily(10, 0)
+
+    def test_seed_bits_is_2k(self):
+        fam = PairwiseHashFamily(100, 4)
+        assert fam.seed_bits == 2 * fam.k
+        assert fam.num_colors == 16
+
+
+class TestPairwiseIndependence:
+    """Exhaustive verification on a small field: for u != v the pair
+    (h(u), h(v)) is uniform over pairs of colors."""
+
+    def test_exhaustive_pair_uniformity(self):
+        fam = PairwiseHashFamily(universe_size=7, num_colors_log2=2)
+        seeds = range(1 << fam.seed_bits)
+        for u, v in [(0, 1), (2, 5), (3, 6)]:
+            counts: dict[tuple[int, int], int] = {}
+            for seed in seeds:
+                pair = (fam.evaluate(seed, u), fam.evaluate(seed, v))
+                counts[pair] = counts.get(pair, 0) + 1
+            expected = len(list(seeds)) / (fam.num_colors**2)
+            assert set(counts) == set(
+                itertools.product(range(fam.num_colors), repeat=2)
+            )
+            assert all(c == expected for c in counts.values())
+
+    def test_exhaustive_single_uniformity(self):
+        fam = PairwiseHashFamily(universe_size=5, num_colors_log2=2)
+        for u in range(5):
+            counts = [0] * fam.num_colors
+            for seed in range(1 << fam.seed_bits):
+                counts[fam.evaluate(seed, u)] += 1
+            assert len(set(counts)) == 1  # perfectly uniform
+
+    def test_collision_probability_exact(self):
+        fam = PairwiseHashFamily(universe_size=6, num_colors_log2=2)
+        total = 1 << fam.seed_bits
+        for u, v in [(0, 1), (1, 4)]:
+            collisions = sum(
+                fam.evaluate(s, u) == fam.evaluate(s, v) for s in range(total)
+            )
+            assert collisions / total == fam.collision_probability()
+
+
+class TestConstraintEquivalence:
+    """The linear-constraint encodings must agree with direct evaluation."""
+
+    @given(st.integers(0, 2**12 - 1))
+    @settings(max_examples=40)
+    def test_collision_constraints_match_evaluation(self, seed):
+        fam = PairwiseHashFamily(universe_size=40, num_colors_log2=3)
+        seed %= 1 << fam.seed_bits
+        for u, v in [(0, 1), (5, 17), (20, 39)]:
+            rows, rhs = fam.collision_constraints(u, v)
+            holds = all(
+                bin(row & seed).count("1") % 2 == b for row, b in zip(rows, rhs)
+            )
+            assert holds == (fam.evaluate(seed, u) == fam.evaluate(seed, v))
+
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 7))
+    @settings(max_examples=40)
+    def test_value_constraints_match_evaluation(self, seed, color):
+        fam = PairwiseHashFamily(universe_size=40, num_colors_log2=3)
+        seed %= 1 << fam.seed_bits
+        for u in (0, 13, 39):
+            rows, rhs = fam.value_constraints(u, color)
+            holds = all(
+                bin(row & seed).count("1") % 2 == b for row, b in zip(rows, rhs)
+            )
+            assert holds == (fam.evaluate(seed, u) == color)
+
+    def test_collision_constraint_probability(self):
+        # Under uniform seeds the constraints must hold with prob 2^-c.
+        fam = PairwiseHashFamily(universe_size=20, num_colors_log2=3)
+        rows, rhs = fam.collision_constraints(3, 11)
+        sys = GF2System(fam.seed_bits)
+        assert sys.probability_with(rows, rhs) == pytest.approx(2**-3)
+
+    def test_value_constraint_probability(self):
+        fam = PairwiseHashFamily(universe_size=20, num_colors_log2=3)
+        rows, rhs = fam.value_constraints(7, 5)
+        sys = GF2System(fam.seed_bits)
+        assert sys.probability_with(rows, rhs) == pytest.approx(2**-3)
+
+    def test_self_collision_rejected(self):
+        fam = PairwiseHashFamily(10, 2)
+        with pytest.raises(ValueError):
+            fam.collision_constraints(3, 3)
+
+    def test_bad_color_rejected(self):
+        fam = PairwiseHashFamily(10, 2)
+        with pytest.raises(ValueError):
+            fam.value_constraints(0, 4)

@@ -1,0 +1,99 @@
+"""Tests for the SplitMix64 PRNG."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import SplitMix64
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SplitMix64(42)
+        b = SplitMix64(42)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = SplitMix64(1)
+        b = SplitMix64(2)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_known_reference_value(self):
+        # SplitMix64 with seed 0: first output is a fixed constant of the
+        # algorithm (regression pin so the stream never silently changes).
+        assert SplitMix64(0).next_u64() == 0xE220A8397B1DCDAF
+
+    def test_split_gives_independent_stream(self):
+        a = SplitMix64(7)
+        child = a.split()
+        assert child.next_u64() != a.next_u64()
+
+
+class TestDistributions:
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=0))
+    def test_randrange_in_range(self, n, seed):
+        rng = SplitMix64(seed)
+        for _ in range(10):
+            assert 0 <= rng.randrange(n) < n
+
+    def test_randrange_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SplitMix64(0).randrange(0)
+
+    def test_randint_inclusive_bounds(self):
+        rng = SplitMix64(3)
+        values = {rng.randint(2, 4) for _ in range(200)}
+        assert values == {2, 3, 4}
+
+    def test_randint_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            SplitMix64(0).randint(5, 4)
+
+    def test_random_unit_interval(self):
+        rng = SplitMix64(9)
+        for _ in range(100):
+            f = rng.random()
+            assert 0.0 <= f < 1.0
+
+    def test_randrange_covers_all_residues(self):
+        rng = SplitMix64(11)
+        seen = {rng.randrange(7) for _ in range(500)}
+        assert seen == set(range(7))
+
+
+class TestShuffleSample:
+    def test_shuffle_is_permutation(self):
+        rng = SplitMix64(5)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # overwhelmingly likely
+
+    def test_shuffle_empty_and_single(self):
+        rng = SplitMix64(5)
+        empty: list[int] = []
+        rng.shuffle(empty)
+        assert empty == []
+        single = [1]
+        rng.shuffle(single)
+        assert single == [1]
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0))
+    def test_sample_distinct_and_in_range(self, n, seed):
+        rng = SplitMix64(seed)
+        k = min(n, 10)
+        result = rng.sample(n, k)
+        assert len(result) == k
+        assert len(set(result)) == k
+        assert all(0 <= v < n for v in result)
+
+    def test_sample_full_population(self):
+        rng = SplitMix64(13)
+        assert sorted(rng.sample(10, 10)) == list(range(10))
+
+    def test_sample_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            SplitMix64(0).sample(3, 4)
