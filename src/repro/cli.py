@@ -33,7 +33,7 @@ __all__ = ["main"]
 
 def _build_graph(args: argparse.Namespace) -> Graph:
     if args.input:
-        return read_edge_list(args.input)
+        return read_edge_list(args.input, strict=not args.lenient)
     generators = {
         "forests": lambda: union_of_random_forests(args.n, args.k, seed=args.seed),
         "tree": lambda: random_tree(args.n, seed=args.seed),
@@ -46,6 +46,11 @@ def _build_graph(args: argparse.Namespace) -> Graph:
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input", help="edge-list file (overrides generator)")
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip self-loops/duplicate edges in --input instead of failing",
+    )
     parser.add_argument(
         "--generator",
         default="forests",

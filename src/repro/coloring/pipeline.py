@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.coloring.arb_linial import (
     ampc_rounds_for_simulation,
     arb_linial_coloring,
@@ -78,11 +80,19 @@ def _space_budget(graph: Graph, delta: float) -> int:
     return max(2, math.ceil((graph.num_vertices + graph.num_edges) ** delta))
 
 
-def _layers_of(partition: PartialBetaPartition, graph: Graph) -> dict[int, list[int]]:
-    groups: dict[int, list[int]] = {}
-    for v in graph.vertices():
-        groups.setdefault(int(partition.layer(v)), []).append(v)
-    return groups
+def _layers_of(partition: PartialBetaPartition, graph: Graph) -> dict[int, np.ndarray]:
+    """Group vertices by layer: one argsort over the layer vector.
+
+    Values are ascending vertex-id arrays (usable directly as the new->old
+    inverse mapping of ``graph.subgraph``); keys are ascending layers.
+    """
+    layer_vec = partition.layer_array(graph.num_vertices)
+    order = np.argsort(layer_vec, kind="stable")
+    sorted_layers = layer_vec[order]
+    boundaries = np.flatnonzero(np.diff(sorted_layers)) + 1
+    starts = np.concatenate(([0], boundaries))
+    groups = np.split(order, boundaries)
+    return {int(sorted_layers[s]): grp for s, grp in zip(starts, groups)}
 
 
 def _finish(graph: Graph, result: PipelineResult) -> PipelineResult:
@@ -203,22 +213,22 @@ def coloring_two_plus_eps(
     space = _space_budget(graph, delta)
     n = graph.num_vertices
 
-    initial = [0] * n
+    # The per-layer loop scatters each subgraph coloring back through the
+    # layer's vertex array (new->old inverse map) in one fancy-indexed write.
+    initial = np.zeros(n, dtype=np.int64)
     init_local_rounds = 0
     init_ampc_rounds = 0
     if initial_method == "kw":
         kw_rounds_max = 0
         linial_rounds_max = 0
         for vertices in layers.values():
-            sub, mapping = graph.subgraph(vertices)
+            sub = graph.induced_subgraph(vertices)
             if sub.num_edges == 0:
                 continue
             sub_degree = min(sub.max_degree(), beta)
             lin = linial_undirected_coloring(sub, sub_degree)
             kw = kw_color_reduction(sub, lin.colors, sub_degree, palette=lin.num_colors)
-            inverse = {new: old for old, new in mapping.items()}
-            for new_id, color in enumerate(kw.colors):
-                initial[inverse[new_id]] = color
+            initial[vertices] = kw.colors
             linial_rounds_max = max(linial_rounds_max, lin.local_rounds)
             kw_rounds_max = max(kw_rounds_max, kw.local_rounds)
         init_local_rounds = linial_rounds_max + kw_rounds_max
@@ -228,13 +238,11 @@ def coloring_two_plus_eps(
     else:
         mpc_rounds_max = 0
         for vertices in layers.values():
-            sub, mapping = graph.subgraph(vertices)
+            sub = graph.induced_subgraph(vertices)
             if sub.num_edges == 0:
                 continue
             res = deterministic_mpc_coloring(sub, x=2, delta=delta)
-            inverse = {new: old for old, new in mapping.items()}
-            for new_id, color in enumerate(res.colors):
-                initial[inverse[new_id]] = color
+            initial[vertices] = res.colors
             mpc_rounds_max = max(mpc_rounds_max, res.mpc_rounds)
         init_ampc_rounds = mpc_rounds_max
 
@@ -276,27 +284,24 @@ def coloring_large_alpha(
     outcome = beta_partition_ampc(graph, beta, delta=delta, x=x)
     layers = _layers_of(outcome.partition, graph)
     trial_x = max(2, round(alpha**eps))
-    colors = [0] * graph.num_vertices
+    colors = np.zeros(graph.num_vertices, dtype=np.int64)
     offset = 0
     mpc_rounds_max = 0
     for __, vertices in sorted(layers.items()):
-        sub, mapping = graph.subgraph(vertices)
-        inverse = {new: old for old, new in mapping.items()}
+        sub = graph.induced_subgraph(vertices)
         if sub.num_edges == 0:
-            for new_id in range(sub.num_vertices):
-                colors[inverse[new_id]] = offset
+            colors[vertices] = offset
             offset += 1
             continue
         res = deterministic_mpc_coloring(sub, x=trial_x, delta=delta)
-        for new_id, color in enumerate(res.colors):
-            colors[inverse[new_id]] = offset + color
+        colors[vertices] = np.asarray(res.colors) + offset
         offset += res.num_colors
         mpc_rounds_max = max(mpc_rounds_max, res.mpc_rounds)
     return _finish(
         graph,
         PipelineResult(
             variant="large_alpha",
-            colors=colors,
+            colors=colors.tolist(),
             num_colors=0,
             palette_bound=offset,
             beta=beta,

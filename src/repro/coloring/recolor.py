@@ -19,8 +19,10 @@ import math
 from dataclasses import dataclass
 from typing import Literal
 
+import numpy as np
+
 from repro.graphs.graph import Graph
-from repro.partition.beta_partition import INFINITY, PartialBetaPartition
+from repro.partition.beta_partition import PartialBetaPartition
 
 __all__ = ["RecolorResult", "greedy_recolor_by_layers", "recoloring_ampc_rounds"]
 
@@ -52,25 +54,28 @@ def greedy_recolor_by_layers(
     n = graph.num_vertices
     if len(initial_colors) != n:
         raise ValueError("need one initial color per vertex")
-    for v in graph.vertices():
-        if partition.layer(v) == INFINITY:
-            raise ValueError(f"vertex {v} unlayered")
-        for w in graph.neighbors(v):
-            w = int(w)
-            if (
-                partition.layer(w) == partition.layer(v)
-                and initial_colors[w] == initial_colors[v]
-            ):
-                raise ValueError(
-                    f"initial coloring not proper within layer: {v} ~ {w}"
-                )
+    # Validation runs as two array passes over the layer vector and the
+    # edge array instead of a per-neighbor Python walk.
+    layer_vec = partition.layer_array(n)
+    unlayered = np.isinf(layer_vec)
+    if unlayered.any():
+        raise ValueError(f"vertex {int(np.argmax(unlayered))} unlayered")
+    init_vec = np.asarray(initial_colors, dtype=np.int64)
+    edges = graph.edge_array()
+    conflict = (layer_vec[edges[:, 0]] == layer_vec[edges[:, 1]]) & (
+        init_vec[edges[:, 0]] == init_vec[edges[:, 1]]
+    )
+    if conflict.any():
+        u, w = edges[np.argmax(conflict)]
+        raise ValueError(
+            f"initial coloring not proper within layer: {int(u)} ~ {int(w)}"
+        )
     # Process by (layer desc, initial color desc); ties broken by id for
     # determinism — tied vertices are never adjacent (initial coloring is
     # proper within a layer), so any tie-break yields the same constraints.
-    order = sorted(
-        graph.vertices(),
-        key=lambda v: (-partition.layer(v), -initial_colors[v], v),
-    )
+    order = np.lexsort(
+        (np.arange(n), -init_vec, -layer_vec)
+    ).tolist()
     final: list[int | None] = [None] * n
     palette = range(beta, -1, -1) if pick == "highest" else range(beta + 1)
     for v in order:

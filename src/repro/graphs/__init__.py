@@ -1,4 +1,11 @@
-"""Graph substrate: CSR graphs, generators, arboricity, flows, validation."""
+"""Graph substrate: CSR graphs, generators, arboricity, flows, validation.
+
+The core is array-native: :class:`Graph` builds from numpy edge arrays
+(:meth:`Graph.from_arrays`), exposes bulk accessors
+(:meth:`Graph.edge_array`, :meth:`Graph.neighbors_of`), and hands out only
+read-only views of its frozen CSR arrays.  The seed pure-Python builder
+survives in :mod:`repro.graphs.reference` as the equivalence-test oracle.
+"""
 
 from repro.graphs.arboricity import (
     core_numbers,

@@ -2,10 +2,16 @@
 
 Generators assemble edge sets incrementally (e.g. adding one forest at a
 time); :class:`GraphBuilder` collects edges with validation and produces an
-immutable :class:`~repro.graphs.graph.Graph` at the end.
+immutable :class:`~repro.graphs.graph.Graph` at the end.  Scalar
+``add_edge`` keeps exact membership semantics (it reports whether the edge
+was new); bulk ``add_edge_array`` accepts a whole numpy edge array at once,
+and :meth:`build` hands the accumulated edges to the vectorized CSR
+builder without any per-edge Python work.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.graphs.graph import Graph
 
@@ -50,6 +56,43 @@ class GraphBuilder:
                 added += 1
         return added
 
+    def add_edge_array(self, edge_array: np.ndarray) -> int:
+        """Bulk-add an ``(m, 2)`` edge array; return how many were new.
+
+        Validation (self-loops, range) and canonicalization run as array
+        operations; only genuinely new canonical pairs touch the Python
+        membership set.
+        """
+        arr = np.asarray(edge_array, dtype=np.int64)
+        if arr.size == 0:
+            return 0
+        arr = arr.reshape(-1, 2)
+        u, v = arr[:, 0], arr[:, 1]
+        loops = u == v
+        if loops.any():
+            raise ValueError(f"self-loop at vertex {int(u[np.argmax(loops)])}")
+        bad = (arr < 0) | (arr >= self.n)
+        if bad.any():
+            row = int(np.argmax(bad.any(axis=1)))
+            raise ValueError(
+                f"edge ({int(u[row])}, {int(v[row])}) out of range for n={self.n}"
+            )
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        canonical = np.unique(np.column_stack((lo, hi)), axis=0)
+        before = len(self._edges)
+        self._edges.update(zip(canonical[:, 0].tolist(), canonical[:, 1].tolist()))
+        return len(self._edges) - before
+
+    def edge_array(self) -> np.ndarray:
+        """Snapshot of the accumulated edges as an ``(m, 2)`` array."""
+        m = len(self._edges)
+        if m == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.fromiter(
+            (x for uv in self._edges for x in uv), dtype=np.int64, count=2 * m
+        ).reshape(m, 2)
+
     def build(self) -> Graph:
-        """Freeze into an immutable Graph."""
-        return Graph._from_edge_set(self.n, set(self._edges))
+        """Freeze into an immutable Graph (vectorized CSR build)."""
+        return Graph.from_arrays(self.n, self.edge_array(), validate=False)

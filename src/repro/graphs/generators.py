@@ -12,10 +12,17 @@ To test them we need workloads whose arboricity is known by construction:
   a graph whose natural β-partition has a long, thin dependency chain with
   huge fans hanging off it, defeating naive volume-based exploration.
 
-All randomness flows from explicit seeds through SplitMix64.
+All randomness flows from explicit seeds through SplitMix64.  The
+deterministic families below build their edge sets as numpy array
+expressions feeding :meth:`Graph.from_arrays` directly; the randomized
+families keep their exact scalar SplitMix64 draw sequences (so seeds keep
+producing the same graphs as the seed implementation) and hand the
+accumulated edges to the vectorized CSR builder in one shot.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.graphs.builder import GraphBuilder
 from repro.graphs.graph import Graph
@@ -40,49 +47,47 @@ __all__ = [
 
 def path_graph(n: int) -> Graph:
     """Path on ``n`` vertices (arboricity 1 for n >= 2)."""
-    return Graph.from_edges(n, ((i, i + 1) for i in range(n - 1)))
+    ids = np.arange(max(n - 1, 0), dtype=np.int64)
+    return Graph.from_arrays(n, np.column_stack((ids, ids + 1)))
 
 
 def cycle_graph(n: int) -> Graph:
     """Cycle on ``n >= 3`` vertices (arboricity 2 by Nash-Williams... = ceil(n/(n-1)) = 2)."""
     if n < 3:
         raise ValueError("cycle needs n >= 3")
-    edges = [(i, (i + 1) % n) for i in range(n)]
-    return Graph.from_edges(n, edges)
+    ids = np.arange(n, dtype=np.int64)
+    return Graph.from_arrays(n, np.column_stack((ids, (ids + 1) % n)))
 
 
 def complete_graph(n: int) -> Graph:
     """Clique K_n (arboricity ceil(n/2))."""
-    return Graph.from_edges(n, ((i, j) for i in range(n) for j in range(i + 1, n)))
+    upper = np.triu_indices(n, k=1)
+    return Graph.from_arrays(n, np.column_stack(upper).astype(np.int64))
 
 
 def star_graph(n: int) -> Graph:
     """Star with one hub and ``n - 1`` leaves (arboricity 1, Δ = n - 1)."""
     if n < 1:
         raise ValueError("star needs n >= 1")
-    return Graph.from_edges(n, ((0, i) for i in range(1, n)))
+    leaves = np.arange(1, n, dtype=np.int64)
+    return Graph.from_arrays(n, np.column_stack((np.zeros_like(leaves), leaves)))
 
 
 def grid_2d(rows: int, cols: int) -> Graph:
     """rows x cols grid (planar, arboricity <= 2... <= 3 in general; 2 for grids)."""
-    def vid(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            if c + 1 < cols:
-                edges.append((vid(r, c), vid(r, c + 1)))
-            if r + 1 < rows:
-                edges.append((vid(r, c), vid(r + 1, c)))
-    return Graph.from_edges(rows * cols, edges)
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horizontal = np.column_stack((ids[:, :-1].ravel(), ids[:, 1:].ravel()))
+    vertical = np.column_stack((ids[:-1, :].ravel(), ids[1:, :].ravel()))
+    return Graph.from_arrays(rows * cols, np.concatenate((horizontal, vertical)))
 
 
 def hypercube(dim: int) -> Graph:
     """Boolean hypercube Q_dim on 2^dim vertices."""
     n = 1 << dim
-    edges = [(v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)]
-    return Graph.from_edges(n, edges)
+    ids = np.arange(n, dtype=np.int64)
+    flips = ids[:, None] ^ (np.int64(1) << np.arange(dim, dtype=np.int64))[None, :]
+    pairs = np.column_stack((np.repeat(ids, dim), flips.ravel()))
+    return Graph.from_arrays(n, pairs[pairs[:, 0] < pairs[:, 1]])
 
 
 def complete_ary_tree(arity: int, depth: int) -> Graph:
@@ -94,12 +99,9 @@ def complete_ary_tree(arity: int, depth: int) -> Graph:
     if arity < 1:
         raise ValueError("arity must be >= 1")
     n = sum(arity**d for d in range(depth + 1))
-    edges = []
-    for v in range(n):
-        for c in range(arity * v + 1, arity * v + arity + 1):
-            if c < n:
-                edges.append((v, c))
-    return Graph.from_edges(n, edges)
+    children = np.arange(1, n, dtype=np.int64)
+    parents = (children - 1) // arity
+    return Graph.from_arrays(n, np.column_stack((parents, children)))
 
 
 def random_tree(n: int, seed: int) -> Graph:

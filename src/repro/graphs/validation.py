@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 from repro.util.dsu import DisjointSetUnion
 
@@ -22,8 +24,31 @@ __all__ = [
 ]
 
 
+def _as_color_array(graph: Graph, colors: Sequence[int] | Mapping[int, int]) -> np.ndarray | None:
+    """Dense color vector for vertices ``0..n-1``, or None if not coercible.
+
+    Lists/arrays of plain integers take the vectorized path; mappings and
+    exotic sequences fall back to the element-wise checks.
+    """
+    if isinstance(colors, Mapping):
+        return None
+    try:
+        arr = np.asarray(colors)
+    except (TypeError, ValueError):
+        return None
+    if arr.ndim != 1 or len(arr) < graph.num_vertices or not np.issubdtype(
+        arr.dtype, np.integer
+    ):
+        return None
+    return arr
+
+
 def is_proper_coloring(graph: Graph, colors: Sequence[int] | Mapping[int, int]) -> bool:
     """True if no edge has equal endpoint colors and every vertex is colored."""
+    arr = _as_color_array(graph, colors)
+    if arr is not None:
+        edges = graph.edge_array()
+        return bool((arr[edges[:, 0]] != arr[edges[:, 1]]).all())
     getter = colors.__getitem__
     try:
         for v in graph.vertices():
@@ -39,7 +64,12 @@ def count_colors(graph: Graph, colors: Sequence[int] | Mapping[int, int]) -> int
 
 
 def monochromatic_edges(graph: Graph, colors: Sequence[int] | Mapping[int, int]) -> list[tuple[int, int]]:
-    """All edges whose endpoints share a color."""
+    """All edges whose endpoints share a color (lexicographic order)."""
+    arr = _as_color_array(graph, colors)
+    if arr is not None:
+        edges = graph.edge_array()
+        bad = edges[arr[edges[:, 0]] == arr[edges[:, 1]]]
+        return [(int(u), int(v)) for u, v in bad]
     return [(u, v) for u, v in graph.edges() if colors[u] == colors[v]]
 
 

@@ -18,9 +18,15 @@ the natural layer ℓ_β(v) for every v with |D(ℓ_β, v)| <= x² and
 
 Engineering notes (documented in DESIGN.md):
 
-- Coins are :class:`~fractions.Fraction`; amounts like x/(β+1)^k are exact,
-  so the "holds at least |F|" and "received >= 1 coin" thresholds never
-  suffer float fuzz.
+- Coin amounts are exact rationals represented as *scaled integers*: every
+  amount is stored multiplied by ``lcm(1..β+1) ** forward_iterations``.
+  Each forwarding step divides by a set size ``|F| <= β+1`` at most once
+  per hop, so every division is exact integer division, and the "holds at
+  least |F|" / "received > 0" thresholds compare integers — the same exact
+  semantics as the seed's :class:`~fractions.Fraction` coins at a fraction
+  of the cost (no gcd normalization per op).  Games with a huge forwarding
+  horizon (strict mode uses |V| iterations) keep Fraction coins instead,
+  where that scale factor would itself be a giant bigint.
 - If a super-iteration adds no vertex, S_v is a fixed point (σ and F depend
   only on S_v), so remaining super-iterations are no-ops and we exit early.
   ``strict=True`` disables this and the forwarding-horizon cap below.
@@ -33,6 +39,7 @@ Engineering notes (documented in DESIGN.md):
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -43,6 +50,18 @@ from repro.partition.beta_partition import INFINITY, PartialBetaPartition
 from repro.partition.induced import induced_partition_from_view
 
 __all__ = ["CoinGameResult", "CoinDroppingGame", "max_provable_layer"]
+
+
+@functools.lru_cache(maxsize=256)
+def _coin_scale(beta: int, horizon: int) -> int | None:
+    """Shared scale for (β, horizon): every game in an LCA round reuses it.
+
+    None means "horizon too deep for a scaled-integer representation" —
+    the game keeps Fraction coins instead.
+    """
+    if horizon > 64:
+        return None
+    return math.lcm(*range(1, beta + 2)) ** horizon
 
 
 def max_provable_layer(x: int, beta: int) -> int:
@@ -94,6 +113,15 @@ class CoinDroppingGame:
             # Wave horizon: the Lemma 4.2 path has length <= log_{β+1} x;
             # a 4x-plus-slack multiple keeps us safely past it.
             self.forward_iterations = 4 * (max_provable_layer(x, beta) + 2)
+        # Coin scale: amounts are integers counting units of 1/_coin_scale.
+        # Any amount after t hops is x divided by t forwarding-set sizes,
+        # each <= β+1, and the loop runs <= forward_iterations hops — so
+        # lcm(1..β+1)**forward_iterations clears every denominator and all
+        # divisions below are exact.  For huge horizons (strict mode sets
+        # forward_iterations = |V|) that scale would be an astronomically
+        # large bigint, so those games fall back to Fraction coins
+        # (_coin_scale = None) — same exact semantics, seed-era speed.
+        self._coin_scale = _coin_scale(beta, self.forward_iterations)
         # Explored state: full adjacency list of every vertex in S_v.
         self._adjacency: dict[int, list[int]] = {}
         self._degree: dict[int, int] = {}
@@ -137,20 +165,28 @@ class CoinDroppingGame:
             u: forwarding_set(nbrs, sigma.layers, explored, self.beta)
             for u, nbrs in self._adjacency.items()
         }
-        coins: dict[int, Fraction] = {self.root: Fraction(self.x)}
+        if self._coin_scale is not None:
+            scale = self._coin_scale
+            coins = {self.root: self.x * scale}
+            divide = int.__floordiv__  # exact: see _coin_scale
+        else:
+            scale = 1
+            coins = {self.root: Fraction(self.x)}
+            divide = Fraction.__truediv__
         for _ in range(self.forward_iterations):
             moved = False
-            next_coins: dict[int, Fraction] = {}
+            next_coins: dict[int, int | Fraction] = {}
+            get = next_coins.get
             for u, amount in coins.items():
                 fset = fsets.get(u)
-                if fset and amount >= len(fset):
-                    share = amount / len(fset)
+                if fset and amount >= len(fset) * scale:
+                    share = divide(amount, len(fset))
                     for w in fset:
-                        next_coins[w] = next_coins.get(w, Fraction(0)) + share
+                        next_coins[w] = get(w, 0) + share
                     moved = True
                 else:
                     # Outside S_v, too few coins, or isolated: coins rest.
-                    next_coins[u] = next_coins.get(u, Fraction(0)) + amount
+                    next_coins[u] = get(u, 0) + amount
             coins = next_coins
             if not moved:
                 break

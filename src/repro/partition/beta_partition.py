@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 
 __all__ = ["INFINITY", "PartialBetaPartition", "merge_min"]
@@ -36,6 +38,24 @@ class PartialBetaPartition:
     def layer(self, v: int) -> Layer:
         """Layer of ``v`` (∞ if unassigned)."""
         return self.layers.get(v, INFINITY)
+
+    def layer_array(self, n: int) -> np.ndarray:
+        """Layers of vertices ``0..n-1`` as a float vector (∞ = unassigned).
+
+        The bulk counterpart of :meth:`layer` used by the vectorized layer
+        grouping and recoloring paths.
+        """
+        out = np.full(n, INFINITY)
+        if self.layers:
+            ids = np.fromiter(self.layers.keys(), dtype=np.int64, count=len(self.layers))
+            vals = np.fromiter(
+                (float(lay) for lay in self.layers.values()),
+                dtype=np.float64,
+                count=len(self.layers),
+            )
+            in_range = (ids >= 0) & (ids < n)
+            out[ids[in_range]] = vals[in_range]
+        return out
 
     def assigned_vertices(self) -> list[int]:
         """Vertices with a finite layer."""

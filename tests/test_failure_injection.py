@@ -8,8 +8,6 @@ EXPERIMENTS.md meaningless.
 
 from __future__ import annotations
 
-import math
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graphs.graph import Graph
+from repro.graphs.reference import reference_csr_from_edges
 
 edge_lists = st.integers(min_value=2, max_value=20).flatmap(
     lambda n: st.tuples(
@@ -125,6 +127,112 @@ class TestComponents:
     def test_two_components_plus_isolated(self):
         g = Graph.from_edges(5, [(0, 1), (2, 3)])
         assert g.connected_components() == [[0, 1], [2, 3], [4]]
+
+
+class TestArrayApi:
+    def test_from_arrays_matches_from_edges(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        a = Graph.from_edges(4, edges)
+        b = Graph.from_arrays(4, np.array(edges, dtype=np.int64))
+        assert a == b
+
+    def test_from_arrays_canonicalizes_and_dedupes(self):
+        arr = np.array([[1, 0], [0, 1], [2, 1]], dtype=np.int64)
+        g = Graph.from_arrays(3, arr)
+        assert g.num_edges == 2
+
+    def test_from_arrays_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop at vertex 2"):
+            Graph.from_arrays(3, np.array([[0, 1], [2, 2]]))
+
+    def test_from_arrays_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_arrays(3, np.array([[0, 3]]))
+
+    def test_from_arrays_bad_shape(self):
+        with pytest.raises(ValueError):
+            Graph.from_arrays(3, np.zeros((2, 3), dtype=np.int64))
+
+    def test_edge_array_sorted_canonical(self):
+        g = Graph.from_edges(4, [(3, 2), (1, 0), (0, 2)])
+        assert g.edge_array().tolist() == [[0, 1], [0, 2], [2, 3]]
+
+    def test_edge_array_matches_edges_iter(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert [tuple(e) for e in g.edge_array()] == list(g.edges())
+
+    def test_neighbors_of_batch(self):
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (1, 2), (3, 4)])
+        targets, boundaries = g.neighbors_of([0, 3, 2])
+        assert boundaries.tolist() == [0, 2, 3, 5]
+        assert targets[0:2].tolist() == [1, 2]  # N(0)
+        assert targets[2:3].tolist() == [4]  # N(3)
+        assert targets[3:5].tolist() == [0, 1]  # N(2)
+
+    def test_neighbors_of_empty_batch(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        targets, boundaries = g.neighbors_of(np.empty(0, dtype=np.int64))
+        assert len(targets) == 0 and boundaries.tolist() == [0]
+
+
+class TestImmutability:
+    """The satellite bugfix: no accessor may hand out a writable view."""
+
+    def _graph(self):
+        return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+    def test_neighbors_view_is_read_only(self):
+        g = self._graph()
+        with pytest.raises(ValueError):
+            g.neighbors(1)[0] = 99
+        assert g.neighbor(1, 0) == 0  # unchanged
+
+    def test_degrees_view_is_read_only(self):
+        g = self._graph()
+        with pytest.raises(ValueError):
+            g.degrees()[0] = 99
+        assert g.degree(0) == 1
+
+    def test_edge_array_is_read_only(self):
+        g = self._graph()
+        with pytest.raises(ValueError):
+            g.edge_array()[0, 0] = 99
+        assert g.edge_array()[0, 0] == 0
+
+    def test_backing_arrays_frozen(self):
+        g = self._graph()
+        assert not g._offsets.flags.writeable
+        assert not g._targets.flags.writeable
+
+
+class TestReferenceEquivalence:
+    """The vectorized CSR builder must be byte-identical to the seed one."""
+
+    @given(edge_lists)
+    @settings(max_examples=120)
+    def test_byte_identical_to_seed_builder(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        ref_offsets, ref_targets = reference_csr_from_edges(n, edges)
+        assert g._offsets.dtype == ref_offsets.dtype
+        assert g._targets.dtype == ref_targets.dtype
+        assert g._offsets.tobytes() == ref_offsets.tobytes()
+        assert g._targets.tobytes() == ref_targets.tobytes()
+
+    @given(edge_lists)
+    @settings(max_examples=40)
+    def test_subgraph_matches_seed_semantics(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        keep = [v for v in range(n) if v % 2 == 0]
+        sub, mapping = g.subgraph(keep)
+        assert mapping == {old: new for new, old in enumerate(keep)}
+        expected = {
+            (min(mapping[u], mapping[v]), max(mapping[u], mapping[v]))
+            for u, v in g.edges()
+            if u in mapping and v in mapping
+        }
+        assert set(sub.edges()) == expected
 
 
 class TestEquality:

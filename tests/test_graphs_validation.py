@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from repro.graphs.generators import complete_graph, cycle_graph, path_graph
-from repro.graphs.graph import Graph
 from repro.graphs.validation import (
     count_colors,
     is_acyclic_orientation,
