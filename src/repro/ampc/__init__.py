@@ -1,14 +1,17 @@
 """AMPC and MPC model simulators with resource accounting (Section 3.1)."""
 
+from repro.ampc.columnar import ColumnStore
 from repro.ampc.cost import ExecutionStats, RoundStats
 from repro.ampc.dds import EMPTY, DataStore
-from repro.ampc.machine import MachineContext, SpaceExceeded
+from repro.ampc.machine import BatchMachineContext, MachineContext, SpaceExceeded
 from repro.ampc.mpc import MPCSimulator
 from repro.ampc.simulator import AMPCSimulator
 from repro.ampc.sorting import SortCostReport, broadcast_tree_sort
 
 __all__ = [
     "AMPCSimulator",
+    "BatchMachineContext",
+    "ColumnStore",
     "DataStore",
     "EMPTY",
     "ExecutionStats",

@@ -32,6 +32,26 @@ class RoundStats:
         """Largest per-machine communication (the S-bounded quantity)."""
         return self.max_reads + self.max_writes
 
+    @classmethod
+    def from_machine_counts(
+        cls, round_index: int, reads, writes, store_words: int
+    ) -> "RoundStats":
+        """Aggregate per-machine count arrays into one round's stats.
+
+        The batched counterpart of accumulating one machine at a time:
+        identical maxima and totals, one reduction per array.
+        """
+        machines = len(reads)
+        return cls(
+            round_index=round_index,
+            machines_active=machines,
+            max_reads=int(reads.max()) if machines else 0,
+            max_writes=int(writes.max()) if machines else 0,
+            total_reads=int(reads.sum()),
+            total_writes=int(writes.sum()),
+            store_words=store_words,
+        )
+
 
 @dataclass
 class ExecutionStats:

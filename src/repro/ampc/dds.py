@@ -10,6 +10,12 @@ handles the DDS" (proof of Theorem 1.2): it collapses multi-valued keys
 with an associative reducer (e.g. min over layer proposals).  That
 machinery is part of the store's sorting layer, not of the per-node
 machines, so it costs no extra AMPC round.
+
+This dict-of-lists store is the *semantics oracle*: the array-backed
+:class:`repro.ampc.columnar.ColumnStore` implements the same contract
+over typed vertex-keyed columns, and the equivalence tests hold the two
+observationally identical.  Hot paths run columnar; this class stays the
+reference (and the fallback for non-columnar keys).
 """
 
 from __future__ import annotations

@@ -13,11 +13,16 @@ machine exceeding ``space_limit`` words raises :class:`SpaceExceeded` when
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
 
 from repro.ampc.dds import DataStore
 
-__all__ = ["MachineContext", "SpaceExceeded"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ampc.columnar import ColumnStore
+
+__all__ = ["BatchMachineContext", "MachineContext", "SpaceExceeded"]
 
 
 class SpaceExceeded(RuntimeError):
@@ -78,3 +83,49 @@ class MachineContext:
     def communication(self) -> int:
         """Words of communication used so far this round."""
         return self.reads + self.writes
+
+
+class BatchMachineContext:
+    """Handle given to a *vectorized* round kernel.
+
+    One context stands in for the whole fleet of per-vertex machines: the
+    kernel reads the previous store's columns in bulk, writes the next
+    store's columns in bulk, and reports per-machine read/write counts as
+    arrays via :meth:`account`.  Budget semantics match the scalar
+    :class:`MachineContext` exactly — under ``strict`` the first machine
+    (in task order) whose communication exceeds S raises
+    :class:`SpaceExceeded`, before any round statistics are recorded.
+    """
+
+    def __init__(
+        self,
+        machine_ids: np.ndarray,
+        previous: "ColumnStore",
+        target: "ColumnStore",
+        space_limit: int,
+        strict: bool,
+    ) -> None:
+        self.machine_ids = machine_ids
+        self.previous = previous
+        self.target = target
+        self._space_limit = space_limit
+        self._strict = strict
+        self.reads = np.zeros(len(machine_ids), dtype=np.int64)
+        self.writes = np.zeros(len(machine_ids), dtype=np.int64)
+
+    def account(self, reads: np.ndarray, writes: np.ndarray) -> None:
+        """Record per-machine communication (one entry per machine id)."""
+        if len(reads) != len(self.machine_ids) or len(writes) != len(self.machine_ids):
+            raise ValueError("need one read/write count per machine")
+        self.reads += np.asarray(reads, dtype=np.int64)
+        self.writes += np.asarray(writes, dtype=np.int64)
+        if self._strict:
+            over = self.reads + self.writes > self._space_limit
+            if over.any():
+                first = int(np.argmax(over))
+                raise SpaceExceeded(
+                    f"machine {self.machine_ids[first]}: "
+                    f"{int(self.reads[first])} reads + "
+                    f"{int(self.writes[first])} writes exceeds "
+                    f"S={self._space_limit}"
+                )

@@ -2,14 +2,24 @@
 
 An :class:`AMPCSimulator` owns the sequence of data stores D_0, D_1, ...
 and the round loop.  Client algorithms (e.g. Theorem 1.2 in
-:mod:`repro.core.beta_partition_ampc`) call :meth:`round` with a list of
-``(machine_id, run)`` tasks; each task's ``run(ctx)`` reads adaptively from
-the previous store through the budgeted :class:`MachineContext` and writes
-to the next store.  The simulator records per-round statistics and can
-enforce the S = N^δ budget strictly.
+:mod:`repro.core.beta_partition_ampc`) drive it in one of two ways:
 
-Machines are simulated sequentially — the model is synchronous, and within
-a round machines only read D_{i-1}, so sequential execution is
+- :meth:`round` with a list of ``(machine_id, run)`` tasks; each task's
+  ``run(ctx)`` reads adaptively from the previous store through the
+  budgeted :class:`MachineContext` and writes to the next store.  Works
+  against either store backend.
+- :meth:`round_vectorized` with a single *kernel* that executes the whole
+  machine fleet as array operations over a columnar store
+  (:class:`~repro.ampc.columnar.ColumnStore`) and reports per-machine
+  communication in bulk.  Observationally identical to :meth:`round` —
+  same stores, same statistics, same strict-budget failures — at a
+  fraction of the interpreter cost.
+
+The backend is selected at construction: ``store="dict"`` keeps the
+dict-of-lists :class:`~repro.ampc.dds.DataStore` (the semantics oracle);
+``store="columnar"`` uses array-backed stores keyed by (kind, vertex)
+columns.  Machines are simulated sequentially — the model is synchronous,
+and within a round machines only read D_{i-1}, so sequential execution is
 observationally identical to parallel execution.
 """
 
@@ -18,9 +28,10 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Iterable
 
+from repro.ampc.columnar import ColumnStore
 from repro.ampc.cost import ExecutionStats, RoundStats
 from repro.ampc.dds import DataStore
-from repro.ampc.machine import MachineContext
+from repro.ampc.machine import BatchMachineContext, MachineContext
 
 __all__ = ["AMPCSimulator"]
 
@@ -41,6 +52,11 @@ class AMPCSimulator:
         violation instead of recording it.
     space_slack:
         Multiplier on S before enforcement (the model allows O(S)).
+    store:
+        Store backend: "dict" (the oracle) or "columnar" (array-backed;
+        requires ``num_vertices``).
+    num_vertices:
+        Vertex universe size for columnar stores.
     """
 
     def __init__(
@@ -49,22 +65,35 @@ class AMPCSimulator:
         delta: float = 0.5,
         strict_space: bool = False,
         space_slack: float = 1.0,
+        store: str = "dict",
+        num_vertices: int | None = None,
     ) -> None:
         if input_size < 1:
             raise ValueError("input_size must be >= 1")
         if not 0 < delta < 1:
             raise ValueError("delta must be in (0, 1)")
+        if store not in ("dict", "columnar"):
+            raise ValueError('store must be "dict" or "columnar"')
+        if store == "columnar" and num_vertices is None:
+            raise ValueError("columnar stores need num_vertices")
         self.input_size = input_size
         self.delta = delta
         self.space_limit = max(1, math.ceil(input_size**delta * space_slack))
         self.strict_space = strict_space
-        self.stores: list[DataStore] = [DataStore(name="D0")]
+        self.store_kind = store
+        self.num_vertices = num_vertices
+        self.stores: list[DataStore | ColumnStore] = [self._new_store("D0")]
         self.stats = ExecutionStats(
             input_size=input_size, space_per_machine=self.space_limit
         )
 
+    def _new_store(self, name: str) -> DataStore | ColumnStore:
+        if self.store_kind == "columnar":
+            return ColumnStore(self.num_vertices, name=name)
+        return DataStore(name=name)
+
     @property
-    def current_store(self) -> DataStore:
+    def current_store(self) -> DataStore | ColumnStore:
         """The most recently completed store D_i."""
         return self.stores[-1]
 
@@ -85,12 +114,24 @@ class AMPCSimulator:
         for key, value in pairs:
             store.write(key, value)
 
+    def port_residual_csr(self, alive, offsets, targets) -> None:
+        """Columnar porting: install the residual graph as CSR columns.
+
+        The bulk counterpart of feeding :meth:`port_to_current` (or
+        :meth:`load_input`, for D_0) the ``("deg", v)`` / ``("adj", v, j)``
+        pair stream; charges no round, like the pair-based porting.
+        """
+        store = self.stores[-1]
+        if not isinstance(store, ColumnStore):
+            raise TypeError("port_residual_csr requires a columnar store")
+        store.load_residual_csr(alive, offsets, targets)
+
     def round(
         self,
         tasks: Iterable[Task],
         reducer: Callable[[list[Any]], Any] | None = None,
-    ) -> DataStore:
-        """Execute one AMPC round.
+    ) -> DataStore | ColumnStore:
+        """Execute one AMPC round of per-machine tasks.
 
         Every task reads from the current store and writes to a fresh next
         store.  ``reducer``, if given, collapses multi-valued keys in the
@@ -98,7 +139,7 @@ class AMPCSimulator:
         Returns the new store.
         """
         previous = self.stores[-1]
-        target = DataStore(name=f"D{len(self.stores)}")
+        target = self._new_store(f"D{len(self.stores)}")
         stats = RoundStats(round_index=len(self.stats.rounds))
         for machine_id, run in tasks:
             ctx = MachineContext(
@@ -117,6 +158,44 @@ class AMPCSimulator:
         if reducer is not None:
             target.reduce_per_key(reducer)
         stats.store_words = target.total_words()
+        self.stats.rounds.append(stats)
+        self.stores.append(target)
+        return target
+
+    def round_vectorized(
+        self,
+        machine_ids,
+        kernel: Callable[[BatchMachineContext], None],
+        reducer: Callable[[list[Any]], Any] | None = None,
+    ) -> ColumnStore:
+        """Execute one AMPC round as a single batched kernel.
+
+        ``kernel(batch)`` runs every machine of ``machine_ids`` against the
+        previous store's columns, writes the next store's columns, and
+        reports per-machine communication through ``batch.account``.  The
+        recorded :class:`~repro.ampc.cost.RoundStats` are identical to
+        running the same machines one at a time through :meth:`round`.
+        """
+        if self.store_kind != "columnar":
+            raise TypeError("round_vectorized requires a columnar simulator")
+        previous = self.stores[-1]
+        target = self._new_store(f"D{len(self.stores)}")
+        batch = BatchMachineContext(
+            machine_ids=machine_ids,
+            previous=previous,
+            target=target,
+            space_limit=self.space_limit,
+            strict=self.strict_space,
+        )
+        kernel(batch)
+        if reducer is not None:
+            target.reduce_per_key(reducer)
+        stats = RoundStats.from_machine_counts(
+            round_index=len(self.stats.rounds),
+            reads=batch.reads,
+            writes=batch.writes,
+            store_words=target.total_words(),
+        )
         self.stats.rounds.append(stats)
         self.stores.append(target)
         return target

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.ampc.mpc import MPCSimulator
 
 __all__ = ["SortCostReport", "broadcast_tree_sort"]
@@ -38,6 +40,41 @@ class SortCostReport:
     splitters: int
     max_bucket: int  # largest per-machine bucket after routing
     within_space: bool
+
+
+def _route_buckets(keys: list[Any], splitters: list[Any]) -> list[int]:
+    """Bucket index per key: count of splitters <= key (exact semantics of
+    the per-splitter scan this replaces, via bisection on sorted splitters)."""
+    if not splitters:
+        return [0] * len(keys)
+    try:
+        # Ragged tuple keys make asarray itself raise on numpy >= 1.24 and
+        # out-of-int64 ints overflow; those (and any non-numeric dtype)
+        # take the scan fallback below.
+        key_arr = np.asarray(keys)
+        split_arr = np.asarray(splitters)
+    except (ValueError, OverflowError):
+        key_arr = split_arr = None
+    if (
+        key_arr is not None
+        and key_arr.ndim == 1
+        and split_arr.ndim == 1
+        # Same-kind arrays only: mixed int/float would promote int64 keys
+        # to float64 and lose ULP-level exactness vs the Python scan.
+        and (
+            (key_arr.dtype.kind in "iu" and split_arr.dtype.kind in "iu")
+            or (key_arr.dtype.kind == "f" and split_arr.dtype.kind == "f")
+        )
+    ):
+        return np.searchsorted(split_arr, key_arr, side="right").tolist()
+    out = []
+    for k in keys:
+        lo = 0
+        for i, split in enumerate(splitters):
+            if k >= split:
+                lo = i + 1
+        out.append(lo)
+    return out
 
 
 def broadcast_tree_sort(
@@ -68,16 +105,15 @@ def broadcast_tree_sort(
         for i in range(1, num_buckets)
     ] if candidates else []
     mpc.broadcast(words=max(1, len(splitters)))
-    # Routing round: every record moves to its bucket.
+    # Routing round: every record moves to its bucket.  A record's bucket
+    # is the number of splitters <= its key; splitters are sorted, so for
+    # numeric keys that is one vectorized np.searchsorted instead of an
+    # O(|items| * |splitters|) Python scan (tuple keys keep the scan).
     buckets: list[list[Any]] = [[] for _ in range(num_buckets)]
-    for shard in shards:
-        for item in shard:
-            k = key(item)
-            lo = 0
-            for i, split in enumerate(splitters):
-                if k >= split:
-                    lo = i + 1
-            buckets[lo].append(item)
+    scan_items = [item for shard in shards for item in shard]
+    bucket_ids = _route_buckets([key(item) for item in scan_items], splitters)
+    for item, bucket in zip(scan_items, bucket_ids):
+        buckets[bucket].append(item)
     mpc.charge_local_round()
     merged: list[Any] = []
     max_bucket = 0

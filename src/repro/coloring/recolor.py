@@ -76,22 +76,31 @@ def greedy_recolor_by_layers(
     order = np.lexsort(
         (np.arange(n), -init_vec, -layer_vec)
     ).tolist()
-    final: list[int | None] = [None] * n
-    palette = range(beta, -1, -1) if pick == "highest" else range(beta + 1)
+    # Blocked palettes as per-vertex bitmaps over {0..β}: finalizing v
+    # sets bit c in every neighbor's mask, and picking a color is one
+    # complement + bit scan instead of materializing a neighbor-color set.
+    offsets, targets = graph.csr()
+    offs = offsets.tolist()
+    tgts = targets.tolist()
+    blocked = [0] * n
+    full = (1 << (beta + 1)) - 1
+    final = [0] * n
     for v in order:
-        blocked = {
-            final[int(w)] for w in graph.neighbors(v) if final[int(w)] is not None
-        }
-        chosen = next((c for c in palette if c not in blocked), None)
-        if chosen is None:
+        available = ~blocked[v] & full
+        if not available:
             raise AssertionError(
                 "palette exhausted: partition was not a valid β-partition"
             )
+        if pick == "highest":
+            chosen = available.bit_length() - 1
+        else:
+            chosen = (available & -available).bit_length() - 1
         final[v] = chosen
-    colors = [c for c in final if c is not None]
-    assert len(colors) == n
+        bit = 1 << chosen
+        for w in tgts[offs[v]:offs[v + 1]]:
+            blocked[w] |= bit
     return RecolorResult(
-        colors=colors, num_colors=len(set(colors)), processed_order=order
+        colors=final, num_colors=len(set(final)), processed_order=order
     )
 
 

@@ -19,15 +19,35 @@ For huge arboricity (β comparable to the local space) the coin game is
 useless and the algorithm switches to the Barenboim-Elkin peeling fallback:
 one AMPC round per layer, each vertex machine reading only its residual
 degree (the last paragraph of the proof of Theorem 1.2).
+
+Two execution fabrics implement the loop:
+
+- ``store="columnar"`` (the default) runs on array-backed
+  :class:`~repro.ampc.columnar.ColumnStore` stores with batched round
+  kernels (:mod:`repro.core.columnar_rounds`): the residual graph is one
+  CSR gather, the peel round is a degree-mask kernel, and the coin games
+  run against flat adjacency lists.
+- ``store="dict"`` is the original dict-of-lists path, kept verbatim as
+  the semantics oracle: the columnar path reproduces its partitions,
+  round counts, and per-round statistics exactly (asserted by the
+  equivalence tests on randomized inputs).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Literal
+
+import numpy as np
 
 from repro.ampc.machine import MachineContext
 from repro.ampc.simulator import AMPCSimulator
+from repro.core.columnar_rounds import (
+    lca_round_kernel,
+    peel_round_kernel,
+    residual_csr,
+)
 from repro.graphs.graph import Graph
 from repro.lca.coin_game import CoinDroppingGame, max_provable_layer
 from repro.lca.oracle import QueryStats
@@ -36,6 +56,7 @@ from repro.partition.beta_partition import PartialBetaPartition
 __all__ = ["BetaPartitionOutcome", "beta_partition_ampc", "default_game_budget"]
 
 Mode = Literal["auto", "lca", "peel"]
+StoreKind = Literal["columnar", "dict"]
 
 
 @dataclass
@@ -113,6 +134,7 @@ def beta_partition_ampc(
     mode: Mode = "auto",
     strict_space: bool = False,
     max_rounds: int | None = None,
+    store: StoreKind = "columnar",
 ) -> BetaPartitionOutcome:
     """Compute a complete β-partition of ``graph`` in simulated AMPC.
 
@@ -131,16 +153,28 @@ def beta_partition_ampc(
     max_rounds:
         Safety cap; raises RuntimeError when exceeded (indicates β below
         the graph's peeling threshold).
+    store:
+        Execution fabric: "columnar" (array-backed stores, batched round
+        kernels) or "dict" (the original per-machine path — the oracle the
+        columnar path is tested against).
     """
     if beta < 1:
         raise ValueError("beta must be >= 1")
+    if store not in ("columnar", "dict"):
+        raise ValueError('store must be "columnar" or "dict"')
     n = graph.num_vertices
     if n == 0:
         return BetaPartitionOutcome(
             partition=PartialBetaPartition({}), beta=beta, rounds=0, mode="lca", x=0
         )
     input_size = n + graph.num_edges
-    sim = AMPCSimulator(input_size, delta=delta, strict_space=strict_space)
+    sim = AMPCSimulator(
+        input_size,
+        delta=delta,
+        strict_space=strict_space,
+        store=store,
+        num_vertices=n if store == "columnar" else None,
+    )
     if x is None:
         x = default_game_budget(beta)
     if mode == "auto":
@@ -150,6 +184,20 @@ def beta_partition_ampc(
     if max_rounds is None:
         max_rounds = 4 * (n.bit_length() + 2) + 8
 
+    if store == "columnar":
+        return _run_columnar(graph, sim, beta, x, mode, max_rounds)
+    return _run_dict(graph, sim, beta, x, mode, max_rounds)
+
+
+def _run_dict(
+    graph: Graph,
+    sim: AMPCSimulator,
+    beta: int,
+    x: int,
+    mode: str,
+    max_rounds: int,
+) -> BetaPartitionOutcome:
+    """The original per-machine dict-store loop (the semantics oracle)."""
     final_layers: dict[int, float] = {}
     alive = list(graph.vertices())
     layer_offset = 0
@@ -186,6 +234,63 @@ def beta_partition_ampc(
         layer_offset += max_new + 1
         assigned_set = set(assigned)
         alive = [v for v in alive if v not in assigned_set]
+
+    partition = PartialBetaPartition(final_layers)
+    return BetaPartitionOutcome(
+        partition=partition,
+        beta=beta,
+        rounds=sim.stats.num_rounds,
+        mode=mode,
+        x=x if mode == "lca" else 0,
+        simulator=sim,
+        unlayered_per_round=unlayered_history,
+    )
+
+
+def _run_columnar(
+    graph: Graph,
+    sim: AMPCSimulator,
+    beta: int,
+    x: int,
+    mode: str,
+    max_rounds: int,
+) -> BetaPartitionOutcome:
+    """The batched columnar loop — observationally identical to the dict
+    path, with the residual re-encode, peel round, and DDS-side min-merge
+    running as array kernels."""
+    final_layers: dict[int, float] = {}
+    alive = np.arange(graph.num_vertices, dtype=np.int64)
+    layer_offset = 0
+    unlayered_history: list[int] = []
+
+    while alive.size:
+        if len(sim.stats.rounds) >= max_rounds:
+            raise RuntimeError(
+                f"β-partition did not complete within {max_rounds} rounds "
+                f"(β={beta} likely below the peeling threshold)"
+            )
+        unlayered_history.append(int(alive.size))
+        offsets, targets = residual_csr(graph, alive)
+        sim.port_residual_csr(alive, offsets, targets)
+
+        if mode == "peel":
+            kernel = partial(peel_round_kernel, beta=beta)
+        else:
+            kernel = partial(lca_round_kernel, beta=beta, x=x)
+        target = sim.round_vectorized(alive, kernel, reducer=min)
+        assigned_vs, assigned_layers = target.layer_assignments()
+
+        if not assigned_vs.size:
+            raise RuntimeError(
+                f"no vertex became layered in a round (β={beta} too small "
+                f"for graph with min residual degree > β)"
+            )
+        for v, lay in zip(assigned_vs.tolist(), assigned_layers.tolist()):
+            final_layers[v] = layer_offset + int(lay)
+        layer_offset += int(assigned_layers.max()) + 1
+        keep = np.ones(graph.num_vertices, dtype=bool)
+        keep[assigned_vs] = False
+        alive = alive[keep[alive]]
 
     partition = PartialBetaPartition(final_layers)
     return BetaPartitionOutcome(

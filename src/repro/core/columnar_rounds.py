@@ -1,0 +1,322 @@
+"""Columnar round kernels for Theorem 1.2 — batched machine execution.
+
+This module is the array-native engine behind
+:func:`repro.core.beta_partition_ampc.beta_partition_ampc`'s columnar
+path.  It replaces three per-element Python walks of the dict-backed
+path with bulk kernels, while reproducing its observable behavior —
+assignments, round counts, per-machine read/write counts, store words —
+*exactly* (the equivalence tests in ``tests/test_core_beta_partition_ampc``
+assert this against the dict-backed oracle):
+
+- :func:`residual_csr` — the residual graph G_i = G[alive] as one
+  alive-mask gather over the frozen CSR core, instead of the per-edge
+  ``_residual_store_pairs`` generator;
+- :func:`peel_round_kernel` — the Barenboim-Elkin peel as a degree-mask
+  array kernel (every machine: one deg read, one conditional layer write);
+- :func:`lca_round_kernel` — one machine per alive vertex playing the
+  (x, β, F)-coin dropping game against the store's columns.  The game
+  itself (:func:`play_coin_game`) is a re-derivation of
+  :class:`repro.lca.coin_game.CoinDroppingGame` specialized for the
+  store-backed oracle: identical exploration order, coin arithmetic
+  (exact scaled integers, Fraction fallback for deep horizons), proofs,
+  and probe counts, with three exactness-preserving shortcuts:
+
+  1. σ_{S_v} is computed lazily — forwarding sets of vertices with at
+     most β+1 neighbors do not depend on σ (Definition 4.1 takes all
+     neighbors), so the per-super-iteration peel runs only when a
+     high-degree vertex must actually rank its neighbors, and once for
+     the final proof;
+  2. coins resting *outside* S_v never move again (their holders have no
+     forwarding set), so the engine tracks outside holders as a touched
+     set instead of carrying their exact amounts — the newcomer set is
+     identical because every delivered share is positive;
+  3. forwarding happens over a worklist of vertices whose amount changed
+     (a vertex below its threshold stays below it until it receives), so
+     an iteration costs O(#forwarders + #shares), not O(#holders).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.ampc.machine import BatchMachineContext
+from repro.graphs.graph import Graph
+from repro.lca.coin_game import _coin_scale, max_provable_layer
+
+__all__ = [
+    "lca_round_kernel",
+    "peel_round_kernel",
+    "play_coin_game",
+    "residual_adjacency_lists",
+    "residual_csr",
+]
+
+_INF = float("inf")
+
+
+def residual_csr(
+    graph: Graph, alive: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR of G[alive] over the full vertex universe (dead rows empty).
+
+    Vertex ids are preserved (no remapping), matching the
+    ``("adj", v, j)`` encoding of Theorem 1.2's proof.  One vectorized
+    gather + mask instead of a per-edge Python filter.
+    """
+    n = graph.num_vertices
+    if len(alive) == n:
+        return graph.csr()
+    mask = np.zeros(n, dtype=bool)
+    mask[alive] = True
+    nbrs, boundaries = graph.neighbors_of(alive)
+    keep = mask[nbrs]
+    targets = nbrs[keep]
+    kept = np.zeros(len(nbrs) + 1, dtype=np.int64)
+    np.cumsum(keep, out=kept[1:])
+    counts = kept[boundaries[1:]] - kept[boundaries[:-1]]
+    degrees = np.zeros(n, dtype=np.int64)
+    degrees[alive] = counts
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    return offsets, targets
+
+
+def residual_adjacency_lists(
+    offsets: np.ndarray, targets: np.ndarray, alive: np.ndarray
+) -> list[list[int] | None]:
+    """Python adjacency lists over a residual CSR (None for dead rows).
+
+    The coin-game engine probes adjacency millions of times per round;
+    list slices of a pre-converted flat list beat per-probe numpy
+    indexing by an order of magnitude.
+    """
+    flat = targets.tolist()
+    offs = offsets.tolist()
+    adj: list[list[int] | None] = [None] * (len(offsets) - 1)
+    for v in alive.tolist():
+        adj[v] = flat[offs[v]:offs[v + 1]]
+    return adj
+
+
+def peel_round_kernel(batch: BatchMachineContext, beta: int) -> None:
+    """One Barenboim-Elkin peel round as an array kernel.
+
+    Machine M_v reads its residual degree (one probe) and writes
+    ``("layer", v) <- 0`` when deg <= β.  The layer column is min-folded
+    on write, so the round's ``reducer=min`` is a no-op by construction.
+    """
+    alive = batch.machine_ids
+    offsets, __ = batch.previous.adjacency_csr()
+    degs = offsets[alive + 1] - offsets[alive]
+    assigned = alive[degs <= beta]
+    batch.target.fold_layer_proposals(assigned, np.zeros(len(assigned)))
+    reads = np.ones(len(alive), dtype=np.int64)
+    writes = (degs <= beta).astype(np.int64)
+    batch.account(reads, writes)
+
+
+def lca_round_kernel(batch: BatchMachineContext, beta: int, x: int) -> None:
+    """One LCA round: every alive machine plays the coin game.
+
+    Proof layers are min-folded into the target's layer column as each
+    game finishes (the DDS-side merge of Remark 4.8 + Lemma 4.10); probe
+    and write counts are accounted per machine, exactly as the scalar
+    :class:`~repro.ampc.machine.MachineContext` would have charged them.
+    """
+    alive = batch.machine_ids
+    offsets, targets = batch.previous.adjacency_csr()
+    adj = residual_adjacency_lists(offsets, targets, alive)
+    n = len(adj)
+    clip = max_provable_layer(x, beta)
+    horizon = 4 * (clip + 2)
+    scale = _coin_scale(beta, horizon)
+    out_layer = [_INF] * n
+    out_count = [0] * n
+    reads = np.zeros(len(alive), dtype=np.int64)
+    writes = np.zeros(len(alive), dtype=np.int64)
+    for i, v in enumerate(alive.tolist()):
+        reads[i], writes[i] = play_coin_game(
+            adj, v, x, beta, clip, horizon, scale, out_layer, out_count
+        )
+    minima = np.array(out_layer)
+    counts = np.asarray(out_count, dtype=np.int64)
+    batch.target.install_layer_column(minima, counts)
+    batch.account(reads, writes)
+
+
+def play_coin_game(
+    adj: list[list[int] | None],
+    root: int,
+    x: int,
+    beta: int,
+    clip: int,
+    horizon: int,
+    scale: int | None,
+    out_layer: list[float],
+    out_count: list[int],
+) -> tuple[int, int]:
+    """Play one (x, β, F)-coin dropping game against residual adjacency.
+
+    Mirrors :class:`repro.lca.coin_game.CoinDroppingGame` exactly (same
+    S_v evolution, same proof, same probe counts — see the module
+    docstring for the three exactness-preserving shortcuts), folding the
+    clipped proof into ``out_layer``/``out_count`` and returning the
+    machine's ``(reads, writes)``.
+    """
+    bp1 = beta + 1
+    inside: dict[int, list[int]] = {}
+    inside_get = inside.get
+    # Forwarding-set records (inside split, outside split, |F|, threshold),
+    # persisted across super-iterations and patched as S_v grows; records
+    # whose F required a σ-ranking are invalidated instead (σ changed).
+    recs: dict[int, tuple[list[int], set[int], int, object]] = {}
+    recs_get = recs.get
+    sigma_recs: list[int] = []
+
+    def explore(u: int) -> None:
+        ins = []
+        for w in adj[u]:
+            il = inside_get(w)
+            if il is not None:
+                il.append(u)
+                ins.append(w)
+                rec = recs_get(w)
+                if rec is not None:
+                    out_m = rec[1]
+                    if u in out_m:
+                        # u crossed into S_v; splits are unordered (share
+                        # addition commutes, touched is a set).
+                        out_m.discard(u)
+                        rec[0].append(u)
+        inside[u] = ins
+
+    explore(root)
+    reads = 1 + len(adj[root])
+
+    if scale is not None:
+        start_amount: object = x * scale
+        int_coins = True
+    else:
+        start_amount = Fraction(x)
+        int_coins = False
+
+    sigma: dict[int, float] | None = None
+    grew = True
+    for __ in range(x * x):
+        sigma = None  # S_v changed since the last super-iteration
+        if sigma_recs:
+            for u in sigma_recs:
+                del recs[u]
+            sigma_recs = []
+        coins: dict[int, object] = {root: start_amount}
+        hot: tuple[int, ...] | set[int] = (root,)
+        touched: set[int] = set()
+        for __h in range(horizon):
+            fwds = None
+            for u in hot:
+                rec = recs_get(u)
+                if rec is None:
+                    nbrs = adj[u]
+                    if len(nbrs) <= bp1:
+                        fset = nbrs
+                    else:
+                        if sigma is None:
+                            sigma = _induced_sigma(inside, adj, beta)
+                        sg = sigma.get
+
+                        def key(w: int):
+                            lay = sg(w, _INF)
+                            return (
+                                -lay if lay != _INF else float("-inf"),
+                                w in inside,
+                                w,
+                            )
+
+                        fset = sorted(nbrs, key=key)[:bp1]
+                        sigma_recs.append(u)
+                    ins_m: list[int] = []
+                    out_m: set[int] = set()
+                    for w in fset:
+                        if w in inside:
+                            ins_m.append(w)
+                        else:
+                            out_m.add(w)
+                    k = len(fset)
+                    rec = (ins_m, out_m, k, k * scale if int_coins else k)
+                    recs[u] = rec
+                amount = coins[u]
+                if rec[2] and amount >= rec[3]:
+                    if fwds is None:
+                        fwds = [(u, amount, rec)]
+                    else:
+                        fwds.append((u, amount, rec))
+            if fwds is None:
+                break  # nothing can move: a fixed point for this horizon
+            new_hot: set[int] = set()
+            new_hot_add = new_hot.add
+            for u, amount, rec in fwds:
+                share = amount // rec[2] if int_coins else amount / rec[2]
+                coins[u] -= amount
+                for w in rec[0]:
+                    if w in coins:
+                        coins[w] += share
+                    else:
+                        coins[w] = share
+                    new_hot_add(w)
+                out_m = rec[1]
+                if out_m:
+                    touched.update(out_m)
+            hot = new_hot
+        if not touched:
+            grew = False
+            break
+        for u in sorted(touched):
+            explore(u)
+            reads += 1 + len(adj[u])
+    if grew or sigma is None:
+        sigma = _induced_sigma(inside, adj, beta)
+    writes = 0
+    for u, lay in sigma.items():
+        if lay <= clip:  # ∞ never passes; proofs are clipped (Lemma 4.4)
+            writes += 1
+            if lay < out_layer[u]:
+                out_layer[u] = lay
+            out_count[u] += 1
+    return reads, writes
+
+
+def _induced_sigma(
+    inside: dict[int, list[int]], adj: list[list[int] | None], beta: int
+) -> dict[int, float]:
+    """σ_{S_v,β} by synchronous peeling of the incrementally-kept view.
+
+    Semantics of :func:`repro.partition.induced.induced_partition_from_view`
+    with the adjacency-closure validation elided (the engine builds the
+    closed view itself) and true degrees read off the residual lists.
+    """
+    sigma = dict.fromkeys(inside, _INF)
+    inf_count = {}
+    frontier = []
+    for u in inside:
+        d = len(adj[u])
+        if d <= beta:
+            frontier.append(u)
+        else:
+            inf_count[u] = d
+    layer_index = 0
+    while frontier:
+        nxt = []
+        for u in frontier:
+            sigma[u] = layer_index
+        for u in frontier:
+            for w in inside[u]:
+                if sigma[w] == _INF:
+                    c = inf_count[w] - 1
+                    inf_count[w] = c
+                    if c == beta:
+                        nxt.append(w)
+        frontier = nxt
+        layer_index += 1
+    return sigma

@@ -13,7 +13,39 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["reference_csr_from_edge_set", "reference_csr_from_edges"]
+__all__ = [
+    "reference_connected_components",
+    "reference_csr_from_edge_set",
+    "reference_csr_from_edges",
+]
+
+
+def reference_connected_components(graph) -> list[list[int]]:
+    """The seed per-vertex BFS that ``Graph.connected_components`` replaced.
+
+    Kept verbatim as the equivalence oracle for the vectorized
+    hook-and-compress implementation: both must return components sorted
+    internally and ordered by smallest member.
+    """
+    n = graph.num_vertices
+    seen = np.zeros(n, dtype=bool)
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = [start]
+        component = []
+        while queue:
+            v = queue.pop()
+            component.append(v)
+            for w in graph.neighbors(v):
+                w = int(w)
+                if not seen[w]:
+                    seen[w] = True
+                    queue.append(w)
+        components.append(sorted(component))
+    return components
 
 
 def reference_csr_from_edge_set(

@@ -11,12 +11,18 @@ discovers per query spent.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from fractions import Fraction
 
 from repro.lca.oracle import GraphOracle
 
 __all__ = ["bfs_explore", "dfs_explore", "naive_coin_explore"]
+
+# Once the shared denominator of the scaled-integer coins outgrows this
+# many bits, amounts convert (exactly) to Fractions: resting holders would
+# otherwise be multiplied by an ever-growing lcm every iteration.
+_SCALE_BIT_CAP = 4096
 
 
 def bfs_explore(oracle: GraphOracle, root: int, query_budget: int) -> set[int]:
@@ -68,7 +74,71 @@ def naive_coin_explore(
     that receive a coin get explored on arrival, and the process repeats
     until coins can no longer be divided.  On skewed gadgets the coins are
     spent after ~log_fan(x) chain hops (Figure 2b).
+
+    Coin amounts are exact rationals represented as *scaled integers*
+    (the representation the coin game itself adopted): every amount is an
+    integer count of ``1/scale`` units, and each iteration multiplies
+    ``scale`` by the lcm of this iteration's forwarding degrees so all
+    divisions stay exact.  Same dynamics as the seed's
+    :class:`~fractions.Fraction` coins — kept verbatim below as
+    :func:`_naive_coin_explore_fractions`, the cross-check oracle — minus
+    a gcd normalization per arithmetic op.  Long-circulating runs grow
+    the shared scale, so once it passes :data:`_SCALE_BIT_CAP` bits the
+    amounts convert exactly to Fractions mid-run (the counterpart of
+    ``coin_game._coin_scale`` returning None for deep horizons).
     """
+    if max_iterations is None:
+        max_iterations = oracle.num_vertices
+    explored: set[int] = set()
+    adjacency: dict[int, list[int]] = {}
+
+    def explore(v: int) -> None:
+        adjacency[v] = oracle.explore(v)
+        explored.add(v)
+
+    explore(root)
+    scale = 1
+    coins: dict[int, int | Fraction] = {root: x}
+    scaled = True  # False once amounts have converted to Fractions
+    for _ in range(max_iterations):
+        if scaled and scale.bit_length() > _SCALE_BIT_CAP:
+            coins = {u: Fraction(amount, scale) for u, amount in coins.items()}
+            scale = 1
+            scaled = False
+        # A holder forwards iff its true amount covers one coin per
+        # neighbor: amount/scale >= deg, i.e. amount >= deg * scale.
+        forward_degrees = [
+            len(nbrs)
+            for u, amount in coins.items()
+            if (nbrs := adjacency.get(u)) and amount >= len(nbrs) * scale
+        ]
+        if not forward_degrees:
+            break  # matches the oracle: nothing moved, coins are stuck
+        rescale = math.lcm(*forward_degrees) if scaled else 1
+        next_coins: dict[int, int | Fraction] = {}
+        for u, amount in coins.items():
+            nbrs = adjacency.get(u)
+            if nbrs and amount >= len(nbrs) * scale:
+                if scaled:
+                    share = amount * (rescale // len(nbrs))  # exact by lcm
+                else:
+                    share = amount / len(nbrs)
+                for w in nbrs:
+                    next_coins[w] = next_coins.get(w, 0) + share
+            else:
+                next_coins[u] = next_coins.get(u, 0) + amount * rescale
+        scale *= rescale
+        coins = next_coins
+        for u in sorted(coins):
+            if coins[u] > 0 and u not in explored:
+                explore(u)
+    return explored
+
+
+def _naive_coin_explore_fractions(
+    oracle: GraphOracle, root: int, x: int, max_iterations: int | None = None
+) -> set[int]:
+    """The seed Fraction-coin implementation (equivalence oracle)."""
     if max_iterations is None:
         max_iterations = oracle.num_vertices
     explored: set[int] = set()

@@ -38,6 +38,23 @@ class TestBroadcastTreeSort:
         # O(1/delta) both times, not growing with input size.
         assert large_report.rounds_charged <= small_report.rounds_charged + 4
 
+    def test_mixed_int_float_keys_keep_exact_routing(self):
+        # int64-magnitude keys one ULP from a float splitter: float64
+        # promotion would misroute; the scan fallback must stay exact.
+        mpc = MPCSimulator(input_size=64, delta=0.5)
+        big = 2**60
+        items = [big + 2**11 - 1, float(big + 2**11), big, 1.5, 2] * 7
+        result, __ = broadcast_tree_sort(mpc, items)
+        assert result == sorted(items)
+
+    def test_mixed_length_tuple_keys_route_via_scan(self):
+        # Ragged tuples (e.g. the DDS's own mixed key families) must take
+        # the Python-scan fallback, not crash in np.asarray.
+        mpc = MPCSimulator(input_size=64, delta=0.5)
+        items = [("deg", 1), ("adj", 1, 0), ("adj", 0, 1), ("deg", 0)] * 8
+        result, __ = broadcast_tree_sort(mpc, items)
+        assert result == sorted(items)
+
     def test_bucket_balance_reported(self):
         mpc = MPCSimulator(input_size=400, delta=0.5)
         values = list(range(400))[::-1]

@@ -65,6 +65,30 @@ class TestRecolor:
         layers_in_order = [p.layer(v) for v in res.processed_order]
         assert layers_in_order == sorted(layers_in_order, reverse=True)
 
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_bitmap_palettes_match_blocked_set_reference(self, seed):
+        """The uint-mask palette picks the same colors as neighbor sets."""
+        g = union_of_random_forests(45, 2, seed=seed)
+        beta = 6
+        p = natural_beta_partition(g, beta)
+        initial = _per_layer_greedy(g, p, beta)
+        for pick in ("highest", "lowest"):
+            res = greedy_recolor_by_layers(g, p, initial, beta, pick=pick)
+            # Reference: the seed per-vertex blocked-set construction.
+            final: list[int | None] = [None] * g.num_vertices
+            palette = (
+                range(beta, -1, -1) if pick == "highest" else range(beta + 1)
+            )
+            for v in res.processed_order:
+                blocked = {
+                    final[int(w)]
+                    for w in g.neighbors(v)
+                    if final[int(w)] is not None
+                }
+                final[v] = next(c for c in palette if c not in blocked)
+            assert res.colors == final
+
     def test_initial_colors_may_exceed_beta_palette(self):
         # Section 6.4 variant: initial palette 4*beta is allowed.
         g = path_graph(6)

@@ -19,6 +19,7 @@ from repro.graphs.generators import (
     grid_2d,
     path_graph,
     preferential_attachment,
+    random_gnm,
     union_of_random_forests,
 )
 from repro.graphs.graph import Graph
@@ -139,6 +140,102 @@ class TestResourceAccounting:
         hist = out.unlayered_per_round
         assert hist[0] == g.num_vertices
         assert all(a > b for a, b in zip(hist, hist[1:]))
+
+
+def _assert_outcomes_equivalent(a, b):
+    """Dict-backed oracle vs columnar path: observationally identical."""
+    assert a.partition.layers == b.partition.layers
+    assert a.rounds == b.rounds
+    assert a.mode == b.mode
+    assert a.x == b.x
+    assert a.unlayered_per_round == b.unlayered_per_round
+    sa, sb = a.simulator.stats, b.simulator.stats
+    assert sa.space_per_machine == sb.space_per_machine
+    assert len(sa.rounds) == len(sb.rounds)
+    for ra, rb in zip(sa.rounds, sb.rounds):
+        for field in (
+            "round_index",
+            "machines_active",
+            "max_reads",
+            "max_writes",
+            "total_reads",
+            "total_writes",
+            "store_words",
+        ):
+            assert getattr(ra, field) == getattr(rb, field), field
+    # Space accounting all the way down: every D_i holds the same words.
+    for store_a, store_b in zip(a.simulator.stores, b.simulator.stores):
+        assert store_a.total_words() == store_b.total_words()
+
+
+class TestColumnarEquivalence:
+    """The columnar fabric must reproduce the dict-backed oracle exactly."""
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(1, 3))
+    @settings(max_examples=8, deadline=None)
+    def test_lca_mode_randomized(self, seed, alpha):
+        g = union_of_random_forests(70, alpha, seed=seed)
+        beta = 3 * alpha
+        a = beta_partition_ampc(g, beta, store="dict")
+        b = beta_partition_ampc(g, beta, store="columnar")
+        _assert_outcomes_equivalent(a, b)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=8, deadline=None)
+    def test_peel_mode_randomized(self, seed):
+        g = union_of_random_forests(80, 2, seed=seed)
+        a = beta_partition_ampc(g, 6, mode="peel", store="dict")
+        b = beta_partition_ampc(g, 6, mode="peel", store="columnar")
+        _assert_outcomes_equivalent(a, b)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=6, deadline=None)
+    def test_gnm_randomized(self, seed):
+        g = random_gnm(120, 260, seed=seed)
+        a = beta_partition_ampc(g, 9, store="dict")
+        b = beta_partition_ampc(g, 9, store="columnar")
+        _assert_outcomes_equivalent(a, b)
+
+    def test_multi_round_deep_tree(self):
+        beta = 3
+        g = complete_ary_tree(beta + 1, 4)
+        a = beta_partition_ampc(g, beta, x=beta + 1, store="dict")
+        b = beta_partition_ampc(g, beta, x=beta + 1, store="columnar")
+        assert a.rounds >= 2  # the equivalence spans multiple residuals
+        _assert_outcomes_equivalent(a, b)
+
+    def test_preferential_attachment(self):
+        g = preferential_attachment(300, 2, seed=4)
+        a = beta_partition_ampc(g, 6, store="dict")
+        b = beta_partition_ampc(g, 6, store="columnar")
+        _assert_outcomes_equivalent(a, b)
+
+    def test_fraction_coin_fallback_parity(self):
+        # x = 2^15 at β = 1 pushes the forwarding horizon past the
+        # scaled-integer cap, so both fabrics run Fraction coins.
+        g = path_graph(10)
+        a = beta_partition_ampc(g, 1, x=2**15, store="dict")
+        b = beta_partition_ampc(g, 1, x=2**15, store="columnar")
+        _assert_outcomes_equivalent(a, b)
+
+    def test_failure_parity_beta_too_small(self):
+        g = complete_graph(8)
+        for store in ("dict", "columnar"):
+            with pytest.raises(RuntimeError):
+                beta_partition_ampc(g, 2, max_rounds=5, store=store)
+
+    def test_invalid_store_rejected(self):
+        with pytest.raises(ValueError):
+            beta_partition_ampc(path_graph(3), 2, store="sqlite")
+
+    def test_strict_space_parity_on_peel(self):
+        g = union_of_random_forests(150, 2, seed=9)
+        a = beta_partition_ampc(g, 6, mode="peel", strict_space=True, store="dict")
+        b = beta_partition_ampc(
+            g, 6, mode="peel", strict_space=True, store="columnar"
+        )
+        _assert_outcomes_equivalent(a, b)
+        assert b.simulator.stats.within_budget
 
 
 class TestStrictSpace:

@@ -81,6 +81,58 @@ class TestDegeneracy:
             later = sum(1 for w in g.neighbors(v) if position[int(w)] > position[v])
             assert later <= d
 
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_smallest_last_randomized(self, seed):
+        """Every peeled vertex has minimum exact residual degree."""
+        from repro.graphs.generators import random_gnm
+
+        n = 2 + seed % 40
+        m = min((seed // 7) % (2 * n), n * (n - 1) // 2)
+        g = random_gnm(n, m, seed=seed)
+        order, __ = degeneracy_order(g)
+        assert sorted(order) == list(range(n))
+        alive = [True] * n
+        residual = [g.degree(v) for v in range(n)]
+        for v in order:
+            minimum = min(residual[u] for u in range(n) if alive[u])
+            assert residual[v] == minimum
+            alive[v] = False
+            for w in g.neighbors(v):
+                w = int(w)
+                if alive[w]:
+                    residual[w] -= 1
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_cores_match_bucket_queue_oracle(self, seed):
+        """Core numbers equal the seed BucketQueue peeler's, exactly."""
+        from repro.graphs.generators import random_gnm
+        from repro.util.bucket_queue import BucketQueue
+
+        n = 2 + seed % 40
+        m = min((seed // 7) % (3 * n), n * (n - 1) // 2)
+        g = random_gnm(n, m, seed=seed)
+        queue = BucketQueue(max(g.max_degree(), 1))
+        remaining = [g.degree(v) for v in range(n)]
+        for v in range(n):
+            queue.insert(v, remaining[v])
+        cores_ref = [0] * n
+        removed = [False] * n
+        current = 0
+        while len(queue):
+            v, key = queue.pop_min()
+            current = max(current, key)
+            cores_ref[v] = current
+            removed[v] = True
+            for w in g.neighbors(v):
+                w = int(w)
+                if not removed[w]:
+                    remaining[w] -= 1
+                    queue.decrease_key(w, remaining[w])
+        __, cores = degeneracy_order(g)
+        assert cores == cores_ref
+
 
 class TestForestPartition:
     def test_tree_needs_one_forest(self):

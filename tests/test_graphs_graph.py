@@ -128,6 +128,28 @@ class TestComponents:
         g = Graph.from_edges(5, [(0, 1), (2, 3)])
         assert g.connected_components() == [[0, 1], [2, 3], [4]]
 
+    def test_empty_and_edgeless(self):
+        assert Graph.from_edges(0, []).connected_components() == []
+        assert Graph.from_edges(3, []).connected_components() == [[0], [1], [2]]
+
+    def test_long_path_many_jump_rounds(self):
+        # A path stresses the pointer-jumping convergence (diameter n).
+        from repro.graphs.reference import reference_connected_components
+
+        g = Graph.from_edges(257, [(i, i + 1) for i in range(256)])
+        assert g.connected_components() == reference_connected_components(g)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_reference_bfs_randomized(self, seed):
+        from repro.graphs.generators import random_gnm
+        from repro.graphs.reference import reference_connected_components
+
+        rng_n = 1 + seed % 80
+        rng_m = min((seed // 80) % (2 * rng_n + 1), rng_n * (rng_n - 1) // 2)
+        g = random_gnm(rng_n, rng_m, seed=seed)
+        assert g.connected_components() == reference_connected_components(g)
+
 
 class TestArrayApi:
     def test_from_arrays_matches_from_edges(self):

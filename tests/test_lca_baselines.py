@@ -54,6 +54,58 @@ class TestNaiveCoins:
         assert explored == {0}
 
 
+class TestScaledIntegerCoins:
+    """The scaled-integer port must replay the Fraction dynamics exactly."""
+
+    def test_matches_fraction_oracle_on_gadget(self):
+        from repro.graphs.generators import skewed_dependency_gadget
+        from repro.lca.baselines import _naive_coin_explore_fractions
+
+        g, chain = skewed_dependency_gadget(3, 4, 30, decoy_fan=20)
+        for x in (4, 16, 64, 256):
+            fast = naive_coin_explore(GraphOracle(g), chain[0], x)
+            ref = _naive_coin_explore_fractions(GraphOracle(g), chain[0], x)
+            assert fast == ref
+
+    def test_matches_fraction_oracle_randomized_small_horizons(self):
+        from repro.graphs.generators import random_gnm
+        from repro.lca.baselines import _naive_coin_explore_fractions
+
+        for seed in range(12):
+            n = 10 + seed * 3
+            g = random_gnm(n, 2 * n, seed=seed)
+            for horizon in (1, 2, 5):
+                fast = naive_coin_explore(
+                    GraphOracle(g), seed % n, x=27, max_iterations=horizon
+                )
+                ref = _naive_coin_explore_fractions(
+                    GraphOracle(g), seed % n, x=27, max_iterations=horizon
+                )
+                assert fast == ref, (seed, horizon)
+
+    def test_mid_run_fraction_fallback_matches_oracle(self, monkeypatch):
+        """Past the scale bit cap, amounts convert to Fractions exactly."""
+        import repro.lca.baselines as baselines
+        from repro.graphs.generators import cycle_graph
+        from repro.lca.baselines import _naive_coin_explore_fractions
+
+        monkeypatch.setattr(baselines, "_SCALE_BIT_CAP", 8)
+        g = cycle_graph(12)  # degree-2 everywhere: coins circulate long
+        for x in (8, 64):
+            fast = naive_coin_explore(GraphOracle(g), 0, x=x)
+            ref = _naive_coin_explore_fractions(GraphOracle(g), 0, x=x)
+            assert fast == ref
+
+    def test_probe_counts_match_oracle(self):
+        from repro.lca.baselines import _naive_coin_explore_fractions
+
+        g = star_graph(9)
+        fast_oracle, ref_oracle = GraphOracle(g), GraphOracle(g)
+        assert naive_coin_explore(fast_oracle, 0, x=16) == \
+            _naive_coin_explore_fractions(ref_oracle, 0, x=16)
+        assert fast_oracle.stats.total == ref_oracle.stats.total
+
+
 class TestSeparationOnGadget:
     """The paper's qualitative claim: with comparable budgets the adaptive
     game certifies w_0's layer and the baselines do not."""
