@@ -15,7 +15,11 @@ in the two regimes of Theorem 1.2:
 
 Both fabrics produce *identical* partitions, round counts, and per-round
 statistics (asserted here on the quick config and by the equivalence
-tests); the benchmark's job is only to time them.
+tests); the benchmark's job is only to time them.  The lca regime is
+additionally swept over ``workers`` (process-pool machine sharding;
+``columnar_workers_s`` in the JSON records the per-worker scaling —
+informative only on multi-core hosts, but every sweep point must still
+reproduce the serial partition exactly).
 
 Run as a script to (re)generate the tracked ``BENCH_ampc.json``::
 
@@ -31,22 +35,38 @@ import argparse
 import json
 import time
 
+from repro.ampc.pool import close_shared_pools
 from repro.core.beta_partition_ampc import beta_partition_ampc
 from repro.graphs.generators import random_gnm
 
 FULL_CONFIG = {"n": 100_000, "m": 200_000, "seed": 20260730, "beta": 9}
 QUICK_CONFIG = {"n": 8_000, "m": 16_000, "seed": 20260730, "beta": 9}
+FULL_WORKER_SWEEP = (1, 2, 4)
+QUICK_WORKER_SWEEP = (1, 2)
 
 
-def _time_run(graph, beta: int, mode: str, store: str):
+def _time_run(graph, beta: int, mode: str, store: str, workers: int = 1):
     start = time.perf_counter()
-    outcome = beta_partition_ampc(graph, beta, mode=mode, store=store)
+    outcome = beta_partition_ampc(
+        graph, beta, mode=mode, store=store, workers=workers
+    )
     elapsed = time.perf_counter() - start
     return elapsed, outcome
 
 
-def bench_mode(graph, beta: int, mode: str, check_equivalence: bool) -> dict:
-    """Columnar vs dict wall-clock for one Theorem 1.2 regime."""
+def bench_mode(
+    graph,
+    beta: int,
+    mode: str,
+    check_equivalence: bool,
+    worker_sweep: tuple[int, ...] = (),
+) -> dict:
+    """Columnar vs dict wall-clock for one Theorem 1.2 regime.
+
+    ``worker_sweep`` additionally times the columnar path at each worker
+    count (per-machine coin-game sharding over the process pool) and
+    verifies every sweep point reproduces the serial partition exactly.
+    """
     columnar_s, columnar = _time_run(graph, beta, mode, "columnar")
     dict_s, oracle = _time_run(graph, beta, mode, "dict")
     assert columnar.rounds == oracle.rounds
@@ -59,7 +79,7 @@ def bench_mode(graph, beta: int, mode: str, check_equivalence: bool) -> dict:
             assert (a.total_reads, a.total_writes, a.store_words) == (
                 b.total_reads, b.total_writes, b.store_words
             )
-    return {
+    report = {
         "mode": mode,
         "beta": beta,
         "columnar_s": round(columnar_s, 3),
@@ -71,14 +91,31 @@ def bench_mode(graph, beta: int, mode: str, check_equivalence: bool) -> dict:
             r.total_reads for r in columnar.simulator.stats.rounds
         ),
     }
+    if worker_sweep:
+        scaling = {"1": report["columnar_s"]}
+        for workers in worker_sweep:
+            if workers == 1:
+                continue
+            sweep_s, sweep = _time_run(graph, beta, mode, "columnar", workers)
+            assert sweep.partition.layers == columnar.partition.layers
+            scaling[str(workers)] = round(sweep_s, 3)
+        close_shared_pools()
+        report["columnar_workers_s"] = scaling
+    return report
 
 
-def run(config: dict, check_equivalence: bool = False) -> dict:
+def run(
+    config: dict,
+    check_equivalence: bool = False,
+    worker_sweep: tuple[int, ...] = (),
+) -> dict:
     graph = random_gnm(config["n"], config["m"], config["seed"])
     return {
         "bench": "f4_ampc_runtime",
         "config": dict(config),
-        "lca": bench_mode(graph, config["beta"], "lca", check_equivalence),
+        "lca": bench_mode(
+            graph, config["beta"], "lca", check_equivalence, worker_sweep
+        ),
         "peel": bench_mode(
             graph, max(2, config["beta"] // 2), "peel", check_equivalence
         ),
@@ -88,7 +125,11 @@ def run(config: dict, check_equivalence: bool = False) -> dict:
 def test_f4_ampc_runtime(benchmark, show_table):
     """Quick config: columnar must beat dict in both regimes, equivalently."""
     report = benchmark.pedantic(
-        lambda: run(QUICK_CONFIG, check_equivalence=True),
+        lambda: run(
+            QUICK_CONFIG,
+            check_equivalence=True,
+            worker_sweep=QUICK_WORKER_SWEEP,
+        ),
         rounds=1,
         iterations=1,
     )
@@ -115,9 +156,11 @@ def main() -> None:
     args = parser.parse_args()
     if args.quick:
         config = dict(QUICK_CONFIG)
+        sweep = QUICK_WORKER_SWEEP
     else:
         config = {"n": args.n, "m": args.m, "seed": args.seed, "beta": args.beta}
-    report = run(config, check_equivalence=args.quick)
+        sweep = FULL_WORKER_SWEEP
+    report = run(config, check_equivalence=args.quick, worker_sweep=sweep)
     text = json.dumps(report, indent=2)
     print(text)
     if args.out:

@@ -5,12 +5,20 @@ from repro.ampc.cost import ExecutionStats, RoundStats
 from repro.ampc.dds import EMPTY, DataStore
 from repro.ampc.machine import BatchMachineContext, MachineContext, SpaceExceeded
 from repro.ampc.mpc import MPCSimulator
+from repro.ampc.pool import (
+    CoinGamePool,
+    WorkerPoolError,
+    close_shared_pools,
+    resolve_workers,
+    shared_pool,
+)
 from repro.ampc.simulator import AMPCSimulator
 from repro.ampc.sorting import SortCostReport, broadcast_tree_sort
 
 __all__ = [
     "AMPCSimulator",
     "BatchMachineContext",
+    "CoinGamePool",
     "ColumnStore",
     "DataStore",
     "EMPTY",
@@ -20,5 +28,9 @@ __all__ = [
     "RoundStats",
     "SortCostReport",
     "SpaceExceeded",
+    "WorkerPoolError",
     "broadcast_tree_sort",
+    "close_shared_pools",
+    "resolve_workers",
+    "shared_pool",
 ]

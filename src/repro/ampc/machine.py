@@ -120,12 +120,37 @@ class BatchMachineContext:
         self.reads += np.asarray(reads, dtype=np.int64)
         self.writes += np.asarray(writes, dtype=np.int64)
         if self._strict:
-            over = self.reads + self.writes > self._space_limit
-            if over.any():
-                first = int(np.argmax(over))
-                raise SpaceExceeded(
-                    f"machine {self.machine_ids[first]}: "
-                    f"{int(self.reads[first])} reads + "
-                    f"{int(self.writes[first])} writes exceeds "
-                    f"S={self._space_limit}"
-                )
+            self.check_strict()
+
+    def account_at(
+        self, positions: np.ndarray, reads: np.ndarray, writes: np.ndarray
+    ) -> None:
+        """Scatter per-machine communication for a subset of the fleet.
+
+        ``positions`` index into ``machine_ids``.  Memoized replays and
+        pool shards report their machines piecemeal (and, for shards, in
+        completion order); the budget scan is deferred to
+        :meth:`check_strict` — which the vectorized round runs after the
+        kernel, before any statistics are recorded — so the machine
+        singled out under ``strict`` is the first *in fleet order*, same
+        as a single full-fleet :meth:`account` call, regardless of how
+        the counts arrived.
+        """
+        if len(positions) != len(reads) or len(positions) != len(writes):
+            raise ValueError("need one read/write count per position")
+        self.reads[positions] += np.asarray(reads, dtype=np.int64)
+        self.writes[positions] += np.asarray(writes, dtype=np.int64)
+
+    def check_strict(self) -> None:
+        """Raise on the first over-budget machine (no-op unless strict)."""
+        if not self._strict:
+            return
+        over = self.reads + self.writes > self._space_limit
+        if over.any():
+            first = int(np.argmax(over))
+            raise SpaceExceeded(
+                f"machine {self.machine_ids[first]}: "
+                f"{int(self.reads[first])} reads + "
+                f"{int(self.writes[first])} writes exceeds "
+                f"S={self._space_limit}"
+            )

@@ -1,0 +1,387 @@
+"""Process-pool execution of a round's coin-game machine fleet.
+
+Parallel execution model
+------------------------
+
+The AMPC model is round-synchronous: within round i every machine reads
+only D_{i-1} and writes only D_i (Section 3.1), so machines of one round
+share *no* state and can run in any order — or simultaneously.  The
+simulator exploits exactly that freedom, nothing more:
+
+- **Sharding.**  The driver splits the round's machine ids into
+  contiguous shards (several per worker, so stragglers rebalance) and
+  submits each shard to a persistent :class:`~concurrent.futures.
+  ProcessPoolExecutor`.  Per-machine semantics are untouched — each
+  worker runs the very same :func:`~repro.core.columnar_rounds.
+  play_coin_game` the serial kernel runs.
+- **Shared read-only residual graph.**  The round's residual CSR
+  (offsets, targets) is published once per round through
+  :mod:`multiprocessing.shared_memory`; shard payloads carry only the
+  segment names, and workers attach, convert to flat adjacency lists
+  (cached until the next round's segments arrive), and close.  Nothing
+  is ever written to the shared segments, mirroring the model's
+  read-only D_{i-1}.
+- **Accounting fold.**  A shard returns ``(reads, writes)`` arrays for
+  its machines plus its layer-proposal deltas as sparse
+  ``(vertices, minima, counts)`` triples and (optionally) replayable
+  game record tuples (see :mod:`repro.core.columnar_rounds`).  The driver
+  scatters the counts through
+  :meth:`~repro.ampc.machine.BatchMachineContext.account_at` and folds
+  the deltas with the same min/+ accumulators the serial loop uses.
+  Minimum and addition are commutative and associative, and counts
+  scatter by machine position, so the folded store, the per-round
+  statistics, and the strict-budget behavior are bit-identical to the
+  serial schedule no matter how the OS interleaves shard completions.
+
+Because every observable — partitions, layer values, round counts, probe
+counts, per-store word accounting — is reproduced exactly, ``workers``
+is a pure throughput knob: the differential harness
+(``tests/test_parallel_equivalence.py``) asserts equality against the
+serial dict-backed oracle for every (store, workers) combination.
+
+Failure containment: any worker fault (an exception mid-shard, an
+unpicklable result, a dead process) closes the pool — joining every
+worker so no orphan processes survive — and surfaces as a single
+:class:`WorkerPoolError` naming the cause.  ``workers=1`` never creates
+processes at all; it is the serial in-process path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import gc
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from multiprocessing.shared_memory import SharedMemory
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = [
+    "CoinGamePool",
+    "WorkerPoolError",
+    "close_shared_pools",
+    "defer_full_gc",
+    "resolve_workers",
+    "shared_pool",
+]
+
+# Test hook (see tests/test_failure_injection.py): set before the pool
+# forks to make every worker shard misbehave in a controlled way.
+_FAULT_ENV = "_REPRO_POOL_FAULT"
+
+
+class WorkerPoolError(RuntimeError):
+    """A coin-game worker pool failed; the round could not complete."""
+
+
+@contextlib.contextmanager
+def defer_full_gc():
+    """Suspend *full* (gen-2) garbage collections for a game loop.
+
+    The coin games churn millions of short-lived dicts, lists, and
+    tuples next to a large static object graph (the residual adjacency
+    lists are n+1 containers).  Young-generation collection handles the
+    churn — game garbage is unreachable within a few hops, so memory
+    stays bounded — but every full collection also rescans the static
+    heap, which measurably dominates GC time at bench scale (~6% of
+    lca-round wall clock at n = 10⁵).  Thresholds are restored on exit,
+    so callers resume normal full collections.
+    """
+    gen0, gen1, gen2 = gc.get_threshold()
+    gc.set_threshold(gen0, gen1, 1_000_000_000)
+    try:
+        yield
+    finally:
+        gc.set_threshold(gen0, gen1, gen2)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` knob: None -> $REPRO_WORKERS -> 1."""
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(env) if env else 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+class ShardResult(NamedTuple):
+    """What one worker shard reports back to the driver."""
+
+    reads: np.ndarray  # per-machine probe counts, shard order
+    writes: np.ndarray  # per-machine write counts, shard order
+    fold_vertices: np.ndarray  # vertices with layer proposals
+    fold_minima: np.ndarray  # min proposed layer per vertex
+    fold_counts: np.ndarray  # number of proposals per vertex
+    records: list | None  # game record tuple per machine when requested
+
+
+# -- worker side -----------------------------------------------------------
+
+# One-slot cache of the current round's adjacency lists, keyed by the
+# shared-memory segment names (unique per round): the first shard a
+# worker receives pays the CSR -> flat-list conversion, later shards of
+# the same round reuse it.
+_ADJ_CACHE: dict[str, object] = {"key": None, "adj": None}
+
+
+def _attached_array(name: str, count: int) -> tuple[SharedMemory, np.ndarray]:
+    # Attaching registers the segment with the resource tracker a second
+    # time, but pool workers share the driver's tracker process (its fd
+    # is inherited through multiprocessing), whose cache is a set — the
+    # re-register is idempotent and the driver's unlink clears it.
+    shm = SharedMemory(name=name)
+    return shm, np.frombuffer(shm.buf, dtype=np.int64, count=count)
+
+
+def _load_adjacency(
+    offsets_name: str, targets_name: str, num_offsets: int, num_targets: int
+) -> list:
+    key = (offsets_name, targets_name)
+    if _ADJ_CACHE["key"] == key:
+        return _ADJ_CACHE["adj"]
+    from repro.core.columnar_rounds import residual_adjacency_lists
+
+    off_shm, offsets = _attached_array(offsets_name, num_offsets)
+    tgt_shm, targets = _attached_array(targets_name, num_targets)
+    try:
+        adj = residual_adjacency_lists(offsets, targets)
+    finally:
+        del offsets, targets  # release the buffer views before closing
+        off_shm.close()
+        tgt_shm.close()
+    _ADJ_CACHE["key"] = key
+    _ADJ_CACHE["adj"] = adj
+    return adj
+
+
+def _play_shard(
+    csr_meta: tuple[str, str, int, int],
+    roots: np.ndarray,
+    params: tuple[int, int, int, int, int | None, bool],
+):
+    """Run one shard of coin-game machines inside a worker process."""
+    fault = os.environ.get(_FAULT_ENV, "")
+    if fault == "raise":
+        raise RuntimeError("injected worker fault (test hook)")
+    if fault == "exit":  # pragma: no cover - exercised via subprocess
+        os._exit(17)
+    from repro.core.columnar_rounds import play_coin_game
+
+    adj = _load_adjacency(*csr_meta)
+    x, beta, clip, horizon, scale, want_records = params
+    # Dense accumulators exactly like the serial kernel's (plain list
+    # indexing in the game's fold loop), sparsified vectorized below.
+    n = len(adj)
+    out_layer: list = [float("inf")] * n
+    out_count: list = [0] * n
+    reads = np.zeros(len(roots), dtype=np.int64)
+    writes = np.zeros(len(roots), dtype=np.int64)
+    records: list | None = [] if want_records else None
+    with defer_full_gc():  # same scoped tradeoff the serial driver makes
+        for slot, v in enumerate(roots.tolist()):
+            reads[slot], writes[slot], record = play_coin_game(
+                adj, v, x, beta, clip, horizon, scale,
+                out_layer, out_count, want_records,
+            )
+            if records is not None:
+                records.append(record)
+    counts = np.asarray(out_count, dtype=np.int64)
+    fold_vertices = np.flatnonzero(counts)
+    fold_minima = np.array(out_layer)[fold_vertices]
+    fold_counts = counts[fold_vertices]
+    if fault == "unpicklable":
+        return lambda: None  # poisoned result: cannot cross the pipe
+    return ShardResult(
+        reads, writes, fold_vertices, fold_minima, fold_counts, records
+    )
+
+
+# -- driver side -----------------------------------------------------------
+
+
+class CoinGamePool:
+    """A persistent worker pool executing coin-game machine shards.
+
+    The executor is created lazily on first use and reused across rounds
+    (and, via :func:`shared_pool`, across partition calls).  Any shard
+    failure closes the pool — joining all workers — and raises
+    :class:`WorkerPoolError`.
+    """
+
+    def __init__(self, workers: int, chunks_per_worker: int = 4) -> None:
+        workers = int(workers)
+        if workers < 2:
+            raise ValueError(
+                "CoinGamePool needs workers >= 2; workers=1 is the serial "
+                "in-process path and never constructs a pool"
+            )
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be >= 1")
+        self.workers = workers
+        self.chunks_per_worker = chunks_per_worker
+        self.closed = False
+        self._executor: ProcessPoolExecutor | None = None
+        # Snapshot of the GC thresholds workers should run with.  The
+        # executor forks lazily — possibly inside a driver's
+        # defer_full_gc() window — so each worker explicitly restores
+        # the construction-time thresholds instead of inheriting a
+        # temporarily gen-2-disabled configuration for its lifetime.
+        self._worker_gc_threshold = gc.get_threshold()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            # Pin the fork start method where the platform offers it: the
+            # shared-memory cleanup story relies on workers inheriting the
+            # driver's resource-tracker fd (see _attached_array), which
+            # spawn/forkserver children do not.  Elsewhere fall back to
+            # the default context — functional, at the cost of tracker
+            # noise at worker exit.
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                mp_context = None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=mp_context,
+                initializer=gc.set_threshold,
+                initargs=self._worker_gc_threshold,
+            )
+        return self._executor
+
+    def run_games(
+        self,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        roots: np.ndarray,
+        positions: np.ndarray,
+        *,
+        x: int,
+        beta: int,
+        clip: int,
+        horizon: int,
+        scale: int | None,
+        want_records: bool,
+    ) -> list[tuple[np.ndarray, ShardResult]]:
+        """Play the games rooted at ``roots`` across the worker fleet.
+
+        ``positions`` carries each root's index into the round's machine
+        array; the return value pairs every shard's position slice with
+        its :class:`ShardResult` so the caller can scatter accounting and
+        fold layer deltas (both order-independent operations).
+        """
+        if self.closed:
+            raise WorkerPoolError("coin-game worker pool is closed")
+        if not len(roots):
+            return []
+        segments: list[SharedMemory] = []
+        try:
+            executor = self._ensure_executor()
+            csr_meta, segments = self._publish_csr(offsets, targets)
+            params = (x, beta, clip, horizon, scale, want_records)
+            num_shards = min(
+                len(roots), self.workers * self.chunks_per_worker
+            )
+            futures = {
+                executor.submit(_play_shard, csr_meta, root_chunk, params):
+                    position_chunk
+                for root_chunk, position_chunk in zip(
+                    np.array_split(roots, num_shards),
+                    np.array_split(positions, num_shards),
+                )
+            }
+            return [
+                (futures[done], done.result()) for done in as_completed(futures)
+            ]
+        except WorkerPoolError:
+            raise
+        except Exception as exc:
+            # Any fault — a worker exception, an unpicklable result, a
+            # dead process (BrokenProcessPool) — poisons the round: close
+            # the pool (joining every worker, so nothing is orphaned) and
+            # surface one clear error.
+            self.close(cancel=True)
+            raise WorkerPoolError(
+                f"coin-game worker pool failed mid-round: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+
+    @staticmethod
+    def _publish_csr(
+        offsets: np.ndarray, targets: np.ndarray
+    ) -> tuple[tuple[str, str, int, int], list[SharedMemory]]:
+        """Copy the residual CSR into shared read-only segments.
+
+        Either both segments are returned (the caller owns their
+        cleanup) or none survive: a failure publishing the second array
+        unlinks the first before re-raising, so a /dev/shm-full round
+        cannot leak a named OS segment.
+        """
+        segments: list[SharedMemory] = []
+        names = []
+        try:
+            for array in (offsets, targets):
+                array = np.ascontiguousarray(array, dtype=np.int64)
+                shm = SharedMemory(create=True, size=max(1, array.nbytes))
+                segments.append(shm)
+                if len(array):
+                    np.frombuffer(
+                        shm.buf, dtype=np.int64, count=len(array)
+                    )[:] = array
+                names.append(shm.name)
+        except BaseException:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+            raise
+        meta = (names[0], names[1], len(offsets), len(targets))
+        return meta, segments
+
+    def close(self, cancel: bool = False) -> None:
+        """Shut the executor down and join every worker process."""
+        self.closed = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=cancel)
+
+    def __enter__(self) -> "CoinGamePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+_SHARED_POOLS: dict[int, CoinGamePool] = {}
+
+
+def shared_pool(workers: int) -> CoinGamePool:
+    """The process-wide pool for ``workers`` (recreated if it broke).
+
+    Sharing one executor across partition calls keeps the fork cost a
+    one-time charge — exactly the "persistent pool" a long-running
+    service would hold — while a pool poisoned by a worker fault is
+    dropped and lazily replaced on the next request.
+    """
+    pool = _SHARED_POOLS.get(workers)
+    if pool is None or pool.closed:
+        pool = CoinGamePool(workers)
+        _SHARED_POOLS[workers] = pool
+    return pool
+
+
+def close_shared_pools() -> None:
+    """Close every shared pool (idempotent; also runs at interpreter exit)."""
+    for pool in list(_SHARED_POOLS.values()):
+        pool.close()
+    _SHARED_POOLS.clear()
+
+
+atexit.register(close_shared_pools)

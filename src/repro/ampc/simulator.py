@@ -18,9 +18,14 @@ and the round loop.  Client algorithms (e.g. Theorem 1.2 in
 The backend is selected at construction: ``store="dict"`` keeps the
 dict-of-lists :class:`~repro.ampc.dds.DataStore` (the semantics oracle);
 ``store="columnar"`` uses array-backed stores keyed by (kind, vertex)
-columns.  Machines are simulated sequentially — the model is synchronous,
-and within a round machines only read D_{i-1}, so sequential execution is
-observationally identical to parallel execution.
+columns.  Machines are simulated sequentially by default — the model is
+synchronous, and within a round machines only read D_{i-1}, so sequential
+execution is observationally identical to parallel execution.  That same
+independence is what lets vectorized kernels shard a round's fleet across
+OS processes (:mod:`repro.ampc.pool`): shards report per-machine counts
+through :meth:`~repro.ampc.machine.BatchMachineContext.account_at` in
+completion order, and the deferred strict scan plus commutative store
+folds keep the outcome bit-identical to the serial schedule.
 """
 
 from __future__ import annotations
@@ -188,6 +193,10 @@ class AMPCSimulator:
             strict=self.strict_space,
         )
         kernel(batch)
+        # Deferred budget scan for kernels that account piecemeal via
+        # account_at (memoized replays, pool shards); immediate account()
+        # calls have already checked, so this is idempotent for them.
+        batch.check_strict()
         if reducer is not None:
             target.reduce_per_key(reducer)
         stats = RoundStats.from_machine_counts(

@@ -26,11 +26,15 @@ Two execution fabrics implement the loop:
   :class:`~repro.ampc.columnar.ColumnStore` stores with batched round
   kernels (:mod:`repro.core.columnar_rounds`): the residual graph is one
   CSR gather, the peel round is a degree-mask kernel, and the coin games
-  run against flat adjacency lists.
+  run against flat adjacency lists.  lca rounds memoize finished games
+  across rounds and, with ``workers > 1``, shard their machine fleet
+  over a persistent process pool (:mod:`repro.ampc.pool`) — machines
+  within a round are independent, so sharding is invisible to every
+  observable.
 - ``store="dict"`` is the original dict-of-lists path, kept verbatim as
   the semantics oracle: the columnar path reproduces its partitions,
   round counts, and per-round statistics exactly (asserted by the
-  equivalence tests on randomized inputs).
+  equivalence tests on randomized inputs, for every ``workers`` value).
 """
 
 from __future__ import annotations
@@ -42,8 +46,10 @@ from typing import Literal
 import numpy as np
 
 from repro.ampc.machine import MachineContext
+from repro.ampc.pool import defer_full_gc, resolve_workers, shared_pool
 from repro.ampc.simulator import AMPCSimulator
 from repro.core.columnar_rounds import (
+    GameCache,
     lca_round_kernel,
     peel_round_kernel,
     residual_csr,
@@ -70,6 +76,8 @@ class BetaPartitionOutcome:
     x: int  # game budget used (0 in peel mode)
     simulator: AMPCSimulator | None = None
     unlayered_per_round: list[int] = field(default_factory=list)
+    workers: int = 1  # worker processes the lca rounds sharded across
+    game_cache_hits: int = 0  # coin games replayed from the cross-round cache
 
     @property
     def num_layers(self) -> int:
@@ -135,6 +143,7 @@ def beta_partition_ampc(
     strict_space: bool = False,
     max_rounds: int | None = None,
     store: StoreKind = "columnar",
+    workers: int | None = None,
 ) -> BetaPartitionOutcome:
     """Compute a complete β-partition of ``graph`` in simulated AMPC.
 
@@ -157,15 +166,25 @@ def beta_partition_ampc(
         Execution fabric: "columnar" (array-backed stores, batched round
         kernels) or "dict" (the original per-machine path — the oracle the
         columnar path is tested against).
+    workers:
+        Worker processes the columnar lca rounds shard their machine
+        fleet across (:mod:`repro.ampc.pool`); None reads
+        ``$REPRO_WORKERS``, defaulting to 1 (serial, in-process).  A pure
+        throughput knob: results are bit-identical for every value.  The
+        dict-backed oracle accepts the knob but always replays its
+        machines serially — it exists to pin down the semantics the
+        sharded path must reproduce.
     """
     if beta < 1:
         raise ValueError("beta must be >= 1")
     if store not in ("columnar", "dict"):
         raise ValueError('store must be "columnar" or "dict"')
+    workers = resolve_workers(workers)
     n = graph.num_vertices
     if n == 0:
         return BetaPartitionOutcome(
-            partition=PartialBetaPartition({}), beta=beta, rounds=0, mode="lca", x=0
+            partition=PartialBetaPartition({}), beta=beta, rounds=0, mode="lca", x=0,
+            workers=workers,
         )
     input_size = n + graph.num_edges
     sim = AMPCSimulator(
@@ -184,9 +203,19 @@ def beta_partition_ampc(
     if max_rounds is None:
         max_rounds = 4 * (n.bit_length() + 2) + 8
 
-    if store == "columnar":
-        return _run_columnar(graph, sim, beta, x, mode, max_rounds)
-    return _run_dict(graph, sim, beta, x, mode, max_rounds)
+    # Acquire the pool before suspending full GC: CoinGamePool snapshots
+    # the gc thresholds its workers should restore at fork time.
+    pool = (
+        shared_pool(workers)
+        if store == "columnar" and workers > 1 and mode == "lca"
+        else None
+    )
+    with defer_full_gc():
+        if store == "columnar":
+            return _run_columnar(
+                graph, sim, beta, x, mode, max_rounds, workers, pool
+            )
+        return _run_dict(graph, sim, beta, x, mode, max_rounds, workers)
 
 
 def _run_dict(
@@ -196,8 +225,14 @@ def _run_dict(
     x: int,
     mode: str,
     max_rounds: int,
+    workers: int,
 ) -> BetaPartitionOutcome:
-    """The original per-machine dict-store loop (the semantics oracle)."""
+    """The original per-machine dict-store loop (the semantics oracle).
+
+    Machines replay serially whatever ``workers`` says: this path defines
+    the observable semantics the sharded columnar engine must reproduce,
+    and staying single-process keeps it trivially trustworthy.
+    """
     final_layers: dict[int, float] = {}
     alive = list(graph.vertices())
     layer_offset = 0
@@ -244,6 +279,7 @@ def _run_dict(
         x=x if mode == "lca" else 0,
         simulator=sim,
         unlayered_per_round=unlayered_history,
+        workers=workers,
     )
 
 
@@ -254,14 +290,20 @@ def _run_columnar(
     x: int,
     mode: str,
     max_rounds: int,
+    workers: int,
+    pool,
 ) -> BetaPartitionOutcome:
     """The batched columnar loop — observationally identical to the dict
     path, with the residual re-encode, peel round, and DDS-side min-merge
-    running as array kernels."""
+    running as array kernels.  lca rounds additionally memoize finished
+    coin games across rounds (:class:`GameCache`) and, with workers > 1,
+    shard the remaining fleet over the persistent process pool — both
+    transparent to every observable."""
     final_layers: dict[int, float] = {}
     alive = np.arange(graph.num_vertices, dtype=np.int64)
     layer_offset = 0
     unlayered_history: list[int] = []
+    game_cache = GameCache() if mode == "lca" else None
 
     while alive.size:
         if len(sim.stats.rounds) >= max_rounds:
@@ -276,7 +318,9 @@ def _run_columnar(
         if mode == "peel":
             kernel = partial(peel_round_kernel, beta=beta)
         else:
-            kernel = partial(lca_round_kernel, beta=beta, x=x)
+            kernel = partial(
+                lca_round_kernel, beta=beta, x=x, pool=pool, cache=game_cache
+            )
         target = sim.round_vectorized(alive, kernel, reducer=min)
         assigned_vs, assigned_layers = target.layer_assignments()
 
@@ -291,6 +335,8 @@ def _run_columnar(
         keep = np.ones(graph.num_vertices, dtype=bool)
         keep[assigned_vs] = False
         alive = alive[keep[alive]]
+        if game_cache is not None:
+            game_cache.evict(assigned_vs.tolist())
 
     partition = PartialBetaPartition(final_layers)
     return BetaPartitionOutcome(
@@ -301,6 +347,8 @@ def _run_columnar(
         x=x if mode == "lca" else 0,
         simulator=sim,
         unlayered_per_round=unlayered_history,
+        workers=workers,
+        game_cache_hits=game_cache.hits if game_cache is not None else 0,
     )
 
 

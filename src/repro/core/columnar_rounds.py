@@ -6,7 +6,8 @@ path.  It replaces three per-element Python walks of the dict-backed
 path with bulk kernels, while reproducing its observable behavior —
 assignments, round counts, per-machine read/write counts, store words —
 *exactly* (the equivalence tests in ``tests/test_core_beta_partition_ampc``
-assert this against the dict-backed oracle):
+and ``tests/test_parallel_equivalence`` assert this against the
+dict-backed oracle):
 
 - :func:`residual_csr` — the residual graph G_i = G[alive] as one
   alive-mask gather over the frozen CSR core, instead of the per-edge
@@ -18,8 +19,9 @@ assert this against the dict-backed oracle):
   itself (:func:`play_coin_game`) is a re-derivation of
   :class:`repro.lca.coin_game.CoinDroppingGame` specialized for the
   store-backed oracle: identical exploration order, coin arithmetic
-  (exact scaled integers, Fraction fallback for deep horizons), proofs,
-  and probe counts, with three exactness-preserving shortcuts:
+  (fixed-scale exact integers, Fraction fallback for deep
+  horizons), proofs, and probe counts, with three exactness-preserving
+  shortcuts:
 
   1. σ_{S_v} is computed lazily — forwarding sets of vertices with at
      most β+1 neighbors do not depend on σ (Definition 4.1 takes all
@@ -33,6 +35,24 @@ assert this against the dict-backed oracle):
   3. forwarding happens over a worklist of vertices whose amount changed
      (a vertex below its threshold stays below it until it receives), so
      an iteration costs O(#forwarders + #shares), not O(#holders).
+
+Two scaling layers sit on top of the game engine:
+
+- **Cross-round proof memoization** (:class:`GameCache`).  A game's
+  entire transcript — exploration order, coin dynamics, probes, and the
+  final proof σ_{S_v} — is a pure function of the residual adjacency
+  lists of its final explored set S_v.  Residual graphs only ever *lose*
+  vertices between rounds, so ``adj[u]`` is unchanged exactly when u is
+  still alive with the same residual degree.  A machine whose cached
+  (S_v, degrees) snapshot still matches therefore replays its recorded
+  proof and (reads, writes) charge instead of re-running the game —
+  bit-identical by construction, including the accounting.
+- **Process-pool machine sharding** (:class:`repro.ampc.pool.CoinGamePool`).
+  Machines within a round are independent (they all read D_{i-1} only),
+  so the fleet shards across worker processes; the kernel folds each
+  shard's layer-proposal deltas and per-machine counts back through the
+  same min/+ accumulators the serial loop uses, making the result
+  independent of shard completion order.
 """
 
 from __future__ import annotations
@@ -43,15 +63,26 @@ import numpy as np
 
 from repro.ampc.machine import BatchMachineContext
 from repro.graphs.graph import Graph
-from repro.lca.coin_game import _coin_scale, max_provable_layer
+from repro.lca.coin_game import fixed_coin_scale, max_provable_layer
 
 __all__ = [
+    "GameCache",
     "lca_round_kernel",
     "peel_round_kernel",
     "play_coin_game",
     "residual_adjacency_lists",
     "residual_csr",
 ]
+
+# A game record is the plain tuple
+#     (explored, proof, reads, writes)
+# where ``explored`` lists the final S_v in exploration order, ``proof``
+# the clipped (vertex, layer) proof entries, and reads/writes the
+# machine's communication charge.  Plain lists/ints keep record
+# construction out of the per-game hot path and make shard pickles
+# cheap.  The game transcript is a pure function of the residual degrees
+# over S_v at game time; GameCache validates that degree snapshot
+# round-over-round, so records need not carry it themselves.
 
 _INF = float("inf")
 
@@ -84,20 +115,94 @@ def residual_csr(
 
 
 def residual_adjacency_lists(
-    offsets: np.ndarray, targets: np.ndarray, alive: np.ndarray
+    offsets: np.ndarray, targets: np.ndarray, alive: np.ndarray | None = None
 ) -> list[list[int] | None]:
     """Python adjacency lists over a residual CSR (None for dead rows).
 
     The coin-game engine probes adjacency millions of times per round;
     list slices of a pre-converted flat list beat per-probe numpy
-    indexing by an order of magnitude.
+    indexing by an order of magnitude.  ``alive=None`` converts every
+    row (dead rows become empty lists — they are never probed, because
+    residual targets only ever point at alive vertices); pool workers
+    use that form so shard payloads need not carry the alive set.
     """
     flat = targets.tolist()
     offs = offsets.tolist()
+    if alive is None:
+        return [flat[offs[v]:offs[v + 1]] for v in range(len(offsets) - 1)]
     adj: list[list[int] | None] = [None] * (len(offsets) - 1)
     for v in alive.tolist():
         adj[v] = flat[offs[v]:offs[v + 1]]
     return adj
+
+
+class GameCache:
+    """Cross-round S_v/σ memoization for the coin games of one partition.
+
+    Rounds only remove vertices from the residual graph, so a vertex u's
+    residual adjacency list is unchanged between rounds iff u is still
+    alive and its residual degree is unchanged (filtered CSR order is
+    stable under deletions elsewhere).  A cached game is valid when that
+    holds for every member of its explored set.
+
+    Records do not snapshot degrees themselves.  Every live record is
+    either looked up or evicted in every round (its root is alive or
+    assigned), and an invalid record is dropped on sight — so validating
+    "this round's degrees == last round's degrees on S_v" against one
+    shared per-round list (:meth:`advance`) chains transitively back to
+    the game-time view.
+
+    The cache arms itself only after the first round: round-1 records
+    could not be consulted before round 2 anyway, and the first round is
+    the bulk of the work in shallow instances (a single-round partition
+    pays zero recording overhead), so the warm-up costs at most one
+    round of potential replays on deep instances.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[int, tuple] = {}
+        self._prev_degrees: list[int] | None = None
+        self.armed = False  # becomes True after the first lca round
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def lookup(
+        self, root: int, alive_flags: list[bool], degrees: list[int]
+    ) -> tuple | None:
+        """The valid record for ``root``, or None (stale records drop).
+
+        ``alive_flags``/``degrees`` are plain-list views over the vertex
+        universe: records hold a few dozen members, so an early-exit
+        Python scan beats array round-trips at this size.
+        """
+        record = self._records.get(root)
+        if record is not None:
+            previous = self._prev_degrees
+            for u in record[0]:
+                if not alive_flags[u] or degrees[u] != previous[u]:
+                    del self._records[root]
+                    break
+            else:
+                self.hits += 1
+                return record
+        self.misses += 1
+        return None
+
+    def advance(self, degrees: list[int]) -> None:
+        """Install this round's degree view (next round validates against it)."""
+        self._prev_degrees = degrees
+
+    def store(self, root: int, record: tuple) -> None:
+        self._records[root] = record
+
+    def evict(self, vertices) -> None:
+        """Drop records rooted at assigned (now dead) vertices."""
+        pop = self._records.pop
+        for v in vertices:
+            pop(v, None)
 
 
 def peel_round_kernel(batch: BatchMachineContext, beta: int) -> None:
@@ -117,33 +222,117 @@ def peel_round_kernel(batch: BatchMachineContext, beta: int) -> None:
     batch.account(reads, writes)
 
 
-def lca_round_kernel(batch: BatchMachineContext, beta: int, x: int) -> None:
+def lca_round_kernel(
+    batch: BatchMachineContext,
+    beta: int,
+    x: int,
+    pool=None,
+    cache: GameCache | None = None,
+) -> None:
     """One LCA round: every alive machine plays the coin game.
 
     Proof layers are min-folded into the target's layer column as each
     game finishes (the DDS-side merge of Remark 4.8 + Lemma 4.10); probe
     and write counts are accounted per machine, exactly as the scalar
     :class:`~repro.ampc.machine.MachineContext` would have charged them.
+
+    ``cache`` (a :class:`GameCache`) replays memoized games whose
+    explored view is unchanged since the previous round; ``pool`` (a
+    :class:`repro.ampc.pool.CoinGamePool`) shards the remaining fleet
+    across worker processes.  Both layers fold through the same min/+
+    accumulators, so partitions, per-round stats, and word counts are
+    identical to the serial uncached path regardless of either knob.
     """
     alive = batch.machine_ids
     offsets, targets = batch.previous.adjacency_csr()
-    adj = residual_adjacency_lists(offsets, targets, alive)
-    n = len(adj)
+    n = len(offsets) - 1
     clip = max_provable_layer(x, beta)
     horizon = 4 * (clip + 2)
-    scale = _coin_scale(beta, horizon)
+    scale = fixed_coin_scale(beta, horizon)
+    want_records = cache is not None and cache.armed
     out_layer = [_INF] * n
     out_count = [0] * n
-    reads = np.zeros(len(alive), dtype=np.int64)
-    writes = np.zeros(len(alive), dtype=np.int64)
-    for i, v in enumerate(alive.tolist()):
-        reads[i], writes[i] = play_coin_game(
-            adj, v, x, beta, clip, horizon, scale, out_layer, out_count
+    alive_list = alive.tolist()
+
+    pending: list[int] = []
+    if want_records and len(cache):
+        degrees = np.diff(offsets).tolist()
+        alive_flags = [False] * n
+        for v in alive_list:
+            alive_flags[v] = True
+        replayed: list[int] = []
+        replay_reads: list[int] = []
+        replay_writes: list[int] = []
+        for i, v in enumerate(alive_list):
+            record = cache.lookup(v, alive_flags, degrees)
+            if record is None:
+                pending.append(i)
+                continue
+            for u, lay in record[1]:
+                if lay < out_layer[u]:
+                    out_layer[u] = lay
+                out_count[u] += 1
+            replayed.append(i)
+            replay_reads.append(record[2])
+            replay_writes.append(record[3])
+        if replayed:
+            batch.account_at(
+                np.asarray(replayed, dtype=np.int64),
+                np.asarray(replay_reads, dtype=np.int64),
+                np.asarray(replay_writes, dtype=np.int64),
+            )
+        cache.advance(degrees)
+    else:
+        pending = list(range(len(alive_list)))
+        if want_records:
+            cache.advance(np.diff(offsets).tolist())
+        elif cache is not None:
+            cache.armed = True  # record from the next round onward
+
+    if pending and pool is not None:
+        positions = np.asarray(pending, dtype=np.int64)
+        shards = pool.run_games(
+            offsets,
+            targets,
+            alive[positions],
+            positions,
+            x=x,
+            beta=beta,
+            clip=clip,
+            horizon=horizon,
+            scale=scale,
+            want_records=want_records,
         )
+        for shard_positions, shard in shards:
+            for u, minimum, count in zip(
+                shard.fold_vertices.tolist(),
+                shard.fold_minima.tolist(),
+                shard.fold_counts.tolist(),
+            ):
+                if minimum < out_layer[u]:
+                    out_layer[u] = minimum
+                out_count[u] += count
+            batch.account_at(shard_positions, shard.reads, shard.writes)
+            if want_records:
+                for i, record in zip(shard_positions.tolist(), shard.records):
+                    cache.store(alive_list[i], record)
+    elif pending:
+        adj = residual_adjacency_lists(offsets, targets, alive)
+        reads = np.zeros(len(pending), dtype=np.int64)
+        writes = np.zeros(len(pending), dtype=np.int64)
+        for slot, i in enumerate(pending):
+            v = alive_list[i]
+            reads[slot], writes[slot], record = play_coin_game(
+                adj, v, x, beta, clip, horizon, scale,
+                out_layer, out_count, want_records,
+            )
+            if want_records:
+                cache.store(v, record)
+        batch.account_at(np.asarray(pending, dtype=np.int64), reads, writes)
+
     minima = np.array(out_layer)
     counts = np.asarray(out_count, dtype=np.int64)
     batch.target.install_layer_column(minima, counts)
-    batch.account(reads, writes)
 
 
 def play_coin_game(
@@ -154,30 +343,49 @@ def play_coin_game(
     clip: int,
     horizon: int,
     scale: int | None,
-    out_layer: list[float],
-    out_count: list[int],
-) -> tuple[int, int]:
+    out_layer,
+    out_count,
+    want_record: bool = False,
+) -> tuple[int, int, tuple | None]:
     """Play one (x, β, F)-coin dropping game against residual adjacency.
 
     Mirrors :class:`repro.lca.coin_game.CoinDroppingGame` exactly (same
     S_v evolution, same proof, same probe counts — see the module
     docstring for the three exactness-preserving shortcuts), folding the
-    clipped proof into ``out_layer``/``out_count`` and returning the
-    machine's ``(reads, writes)``.
+    clipped proof into ``out_layer``/``out_count`` (any pair of
+    indexables supporting min-update and +=; both the serial kernel and
+    pool workers pass dense universe-sized lists) and returning the
+    ``(reads, writes, record)`` — ``record`` is a replayable game record
+    tuple when ``want_record``, else None.
+
+    Coins are fixed-scale exact integers (``scale`` from
+    :func:`repro.lca.coin_game.fixed_coin_scale`; every share division
+    is exact ``//``) or Fractions when ``scale`` is None (deep-horizon
+    games).
     """
     bp1 = beta + 1
     inside: dict[int, list[int]] = {}
     inside_get = inside.get
-    # Forwarding-set records (inside split, outside split, |F|, threshold),
-    # persisted across super-iterations and patched as S_v grows; records
-    # whose F required a σ-ranking are invalidated instead (σ changed).
-    recs: dict[int, tuple[list[int], set[int], int, object]] = {}
+    # Forwarding-set records (inside split, outside split, |F|, forwarding
+    # threshold |F|*scale), persisted across super-iterations and patched
+    # as S_v grows.  Records are created *threshold-only* (splits None):
+    # the hot loop needs just |F|*scale to test a holder, and most
+    # holders — high-degree vertices especially, whose split would force
+    # a σ-ranking — never accumulate (β+1)·scale coins.  The split is
+    # materialized on a record's first forward of the current σ-epoch;
+    # σ is constant within a super-iteration and explore-time patches
+    # exactly simulate an earlier build, so deferral is value-invisible.
+    # Records whose split required a σ-ranking are downgraded back to
+    # threshold-only at the next super-iteration (σ changed; |F| didn't).
+    recs: dict[int, tuple[list[int] | None, set[int] | None, int, object]] = {}
     recs_get = recs.get
     sigma_recs: list[int] = []
 
-    def explore(u: int) -> None:
+    def explore(u: int) -> int:
+        """Add u to S_v; returns its probe charge (1 degree + deg reads)."""
+        nbrs = adj[u]
         ins = []
-        for w in adj[u]:
+        for w in nbrs:
             il = inside_get(w)
             if il is not None:
                 il.append(u)
@@ -185,22 +393,55 @@ def play_coin_game(
                 rec = recs_get(w)
                 if rec is not None:
                     out_m = rec[1]
-                    if u in out_m:
+                    if out_m is not None and u in out_m:
                         # u crossed into S_v; splits are unordered (share
                         # addition commutes, touched is a set).
                         out_m.discard(u)
                         rec[0].append(u)
         inside[u] = ins
+        return 1 + len(nbrs)
 
-    explore(root)
-    reads = 1 + len(adj[root])
+    reads = explore(root)
 
     if scale is not None:
         start_amount: object = x * scale
         int_coins = True
     else:
+        scale = 1
         start_amount = Fraction(x)
         int_coins = False
+
+    def build_split(u: int, rec):
+        """Materialize a threshold-only record's (inside, outside) split."""
+        nonlocal sigma
+        nbrs = adj[u]
+        if len(nbrs) <= bp1:
+            fset = nbrs
+        else:
+            if sigma is None:
+                sigma = _induced_sigma(inside, adj, beta)
+            sg = sigma.get
+
+            def key(w: int):
+                lay = sg(w, _INF)
+                return (
+                    -lay if lay != _INF else float("-inf"),
+                    w in inside,
+                    w,
+                )
+
+            fset = sorted(nbrs, key=key)[:bp1]
+            sigma_recs.append(u)
+        ins_m: list[int] = []
+        out_m: set[int] = set()
+        for w in fset:
+            if w in inside:
+                ins_m.append(w)
+            else:
+                out_m.add(w)
+        rec = (ins_m, out_m, rec[2], rec[3])
+        recs[u] = rec
+        return rec
 
     sigma: dict[int, float] | None = None
     grew = True
@@ -208,7 +449,8 @@ def play_coin_game(
         sigma = None  # S_v changed since the last super-iteration
         if sigma_recs:
             for u in sigma_recs:
-                del recs[u]
+                old = recs[u]
+                recs[u] = (None, None, old[2], old[3])
             sigma_recs = []
         coins: dict[int, object] = {root: start_amount}
         hot: tuple[int, ...] | set[int] = (root,)
@@ -218,36 +460,22 @@ def play_coin_game(
             for u in hot:
                 rec = recs_get(u)
                 if rec is None:
-                    nbrs = adj[u]
-                    if len(nbrs) <= bp1:
-                        fset = nbrs
+                    k = len(adj[u])
+                    if k > bp1:
+                        k = bp1
+                    # Threshold |F|*scale; an isolated root (k = 0, only
+                    # possible for the root) gets an unreachable sentinel
+                    # so the hot loop needs no emptiness test.
+                    if k:
+                        threshold = k * scale if int_coins else k
                     else:
-                        if sigma is None:
-                            sigma = _induced_sigma(inside, adj, beta)
-                        sg = sigma.get
-
-                        def key(w: int):
-                            lay = sg(w, _INF)
-                            return (
-                                -lay if lay != _INF else float("-inf"),
-                                w in inside,
-                                w,
-                            )
-
-                        fset = sorted(nbrs, key=key)[:bp1]
-                        sigma_recs.append(u)
-                    ins_m: list[int] = []
-                    out_m: set[int] = set()
-                    for w in fset:
-                        if w in inside:
-                            ins_m.append(w)
-                        else:
-                            out_m.add(w)
-                    k = len(fset)
-                    rec = (ins_m, out_m, k, k * scale if int_coins else k)
+                        threshold = _INF
+                    rec = (None, None, k, threshold)
                     recs[u] = rec
                 amount = coins[u]
-                if rec[2] and amount >= rec[3]:
+                if amount >= rec[3]:
+                    if rec[0] is None:
+                        rec = build_split(u, rec)
                     if fwds is None:
                         fwds = [(u, amount, rec)]
                     else:
@@ -273,18 +501,23 @@ def play_coin_game(
             grew = False
             break
         for u in sorted(touched):
-            explore(u)
-            reads += 1 + len(adj[u])
+            reads += explore(u)
     if grew or sigma is None:
         sigma = _induced_sigma(inside, adj, beta)
     writes = 0
+    proof: list[tuple[int, int]] | None = [] if want_record else None
     for u, lay in sigma.items():
         if lay <= clip:  # ∞ never passes; proofs are clipped (Lemma 4.4)
             writes += 1
             if lay < out_layer[u]:
                 out_layer[u] = lay
             out_count[u] += 1
-    return reads, writes
+            if proof is not None:
+                proof.append((u, lay))
+    record = None
+    if want_record:
+        record = (list(inside), proof, reads, writes)
+    return reads, writes, record
 
 
 def _induced_sigma(

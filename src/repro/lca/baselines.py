@@ -84,8 +84,9 @@ def naive_coin_explore(
     :func:`_naive_coin_explore_fractions`, the cross-check oracle — minus
     a gcd normalization per arithmetic op.  Long-circulating runs grow
     the shared scale, so once it passes :data:`_SCALE_BIT_CAP` bits the
-    amounts convert exactly to Fractions mid-run (the counterpart of
-    ``coin_game._coin_scale`` returning None for deep horizons).
+    amounts convert exactly to Fractions mid-run (the counterpart of the
+    coin game's Fraction fallback for horizons past
+    :data:`repro.lca.coin_game.INT_COIN_HORIZON_CAP`).
     """
     if max_iterations is None:
         max_iterations = oracle.num_vertices

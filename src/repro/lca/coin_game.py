@@ -18,15 +18,40 @@ the natural layer ℓ_β(v) for every v with |D(ℓ_β, v)| <= x² and
 
 Engineering notes (documented in DESIGN.md):
 
-- Coin amounts are exact rationals represented as *scaled integers*: every
-  amount is stored multiplied by ``lcm(1..β+1) ** forward_iterations``.
-  Each forwarding step divides by a set size ``|F| <= β+1`` at most once
-  per hop, so every division is exact integer division, and the "holds at
-  least |F|" / "received > 0" thresholds compare integers — the same exact
-  semantics as the seed's :class:`~fractions.Fraction` coins at a fraction
-  of the cost (no gcd normalization per op).  Games with a huge forwarding
-  horizon (strict mode uses |V| iterations) keep Fraction coins instead,
-  where that scale factor would itself be a giant bigint.
+- Coin amounts are exact rationals represented as *bounded-denominator
+  scaled integers*: after t hops every denominator divides
+  ``lcm(1..β+1) ** t`` (each hop divides by one set size ``|F| <= β+1``),
+  so integer counts of ``1/scale`` units are exact.  Two interchangeable
+  scale policies implement this, and the differential tests pin them
+  against each other and against the seed's :class:`~fractions.Fraction`
+  coins:
+
+  * **Shared fixed scale** (:func:`fixed_coin_scale`) —
+    ``lcm(1..β+1) ** horizon``, precomputed once per (β, horizon).
+    Amounts stay machine-word-sized whenever that scale fits in 63 bits
+    (small β/x regimes); past 63 bits Python integers widen to bigints
+    automatically — exact, just proportionally slower.  Every division
+    is a plain exact ``//``.  This is what the columnar round engine
+    (:func:`repro.core.columnar_rounds.play_coin_game`) runs: on
+    bench-shaped inputs inexact divisions are the *common* case, so a
+    branch-free fixed scale beats dynamic rescaling even when it makes
+    amounts multi-digit.
+  * **Dynamic per-game escalation**
+    (:meth:`CoinDroppingGame._forward_scaled_ints`) — the scale starts
+    at 1 and, once per hop, escalates by the smallest factor that makes
+    that hop's divisions exact (the lcm of the per-division deficits
+    ``|F| / gcd(amount, |F|)``).  Amounts stay single-digit until a game
+    actually demands more, and :attr:`CoinDroppingGame.peak_coin_scale`
+    records how far a game escalated — through 63 bits and beyond, the
+    overflow path is ordinary bigint arithmetic.  The oracle game runs
+    this policy, so dict-vs-columnar equivalence doubles as a
+    differential check of the two representations.
+
+  Games with a huge forwarding horizon (strict mode uses |V| iterations)
+  keep Fraction coins instead: the fixed scale would be an astronomical
+  bigint, a dynamic scale never shrinks, and Fractions' per-op gcd
+  normalization is the safe representation over thousands of ping-pong
+  hops.
 - If a super-iteration adds no vertex, S_v is a fixed point (σ and F depend
   only on S_v), so remaining super-iterations are no-ops and we exit early.
   ``strict=True`` disables this and the forwarding-horizon cap below.
@@ -49,17 +74,33 @@ from repro.lca.oracle import GraphOracle
 from repro.partition.beta_partition import INFINITY, PartialBetaPartition
 from repro.partition.induced import induced_partition_from_view
 
-__all__ = ["CoinGameResult", "CoinDroppingGame", "max_provable_layer"]
+__all__ = [
+    "CoinGameResult",
+    "CoinDroppingGame",
+    "INT_COIN_HORIZON_CAP",
+    "fixed_coin_scale",
+    "max_provable_layer",
+]
+
+# Forwarding horizons up to this many hops run the scaled-integer coin
+# fast path; deeper horizons (strict mode uses |V| iterations) keep
+# Fraction coins, whose per-op gcd normalization bounds coefficient
+# growth over thousands of ping-pong hops.
+INT_COIN_HORIZON_CAP = 64
 
 
 @functools.lru_cache(maxsize=256)
-def _coin_scale(beta: int, horizon: int) -> int | None:
-    """Shared scale for (β, horizon): every game in an LCA round reuses it.
+def fixed_coin_scale(beta: int, horizon: int) -> int | None:
+    """Shared fixed scale for (β, horizon): every game of a round reuses it.
 
-    None means "horizon too deep for a scaled-integer representation" —
-    the game keeps Fraction coins instead.
+    ``lcm(1..β+1) ** horizon`` clears every denominator any amount can
+    acquire within the horizon, so all share divisions are exact ``//``.
+    It fits machine words when small parameters keep it under 63 bits and
+    widens to a bigint otherwise (see the module docstring).  None means
+    "horizon too deep for any scaled-integer representation" — such games
+    keep Fraction coins.
     """
-    if horizon > 64:
+    if horizon > INT_COIN_HORIZON_CAP:
         return None
     return math.lcm(*range(1, beta + 2)) ** horizon
 
@@ -113,15 +154,17 @@ class CoinDroppingGame:
             # Wave horizon: the Lemma 4.2 path has length <= log_{β+1} x;
             # a 4x-plus-slack multiple keeps us safely past it.
             self.forward_iterations = 4 * (max_provable_layer(x, beta) + 2)
-        # Coin scale: amounts are integers counting units of 1/_coin_scale.
-        # Any amount after t hops is x divided by t forwarding-set sizes,
-        # each <= β+1, and the loop runs <= forward_iterations hops — so
-        # lcm(1..β+1)**forward_iterations clears every denominator and all
-        # divisions below are exact.  For huge horizons (strict mode sets
-        # forward_iterations = |V|) that scale would be an astronomically
-        # large bigint, so those games fall back to Fraction coins
-        # (_coin_scale = None) — same exact semantics, seed-era speed.
-        self._coin_scale = _coin_scale(beta, self.forward_iterations)
+        # Coin representation: dynamically-scaled exact integers for
+        # bench-sized horizons (amounts are counts of 1/scale units; the
+        # scale starts at 1 and escalates only when a division demands
+        # it — see the module docstring), Fraction coins for deep
+        # horizons where an ever-growing scale could turn every op into
+        # giant-bigint arithmetic.
+        self._int_coins = self.forward_iterations <= INT_COIN_HORIZON_CAP
+        # Largest scale any forwarding run of this game reached: 1 means
+        # every division was exact; > 2**63 means the game escalated past
+        # machine words into bigints (still exact — just slower).
+        self.peak_coin_scale = 1
         # Explored state: full adjacency list of every vertex in S_v.
         self._adjacency: dict[int, list[int]] = {}
         self._degree: dict[int, int] = {}
@@ -165,35 +208,87 @@ class CoinDroppingGame:
             u: forwarding_set(nbrs, sigma.layers, explored, self.beta)
             for u, nbrs in self._adjacency.items()
         }
-        if self._coin_scale is not None:
-            scale = self._coin_scale
-            coins = {self.root: self.x * scale}
-            divide = int.__floordiv__  # exact: see _coin_scale
+        if self._int_coins:
+            coins = self._forward_scaled_ints(fsets)
         else:
-            scale = 1
-            coins = {self.root: Fraction(self.x)}
-            divide = Fraction.__truediv__
-        for _ in range(self.forward_iterations):
-            moved = False
-            next_coins: dict[int, int | Fraction] = {}
-            get = next_coins.get
-            for u, amount in coins.items():
-                fset = fsets.get(u)
-                if fset and amount >= len(fset) * scale:
-                    share = divide(amount, len(fset))
-                    for w in fset:
-                        next_coins[w] = get(w, 0) + share
-                    moved = True
-                else:
-                    # Outside S_v, too few coins, or isolated: coins rest.
-                    next_coins[u] = get(u, 0) + amount
-            coins = next_coins
-            if not moved:
-                break
+            coins = self._forward_fractions(fsets)
         newcomers = [u for u, amount in coins.items() if u not in self._adjacency and amount > 0]
         for u in sorted(newcomers):
             self._explore(u)
         return len(newcomers)
+
+    def _forward_scaled_ints(self, fsets: dict[int, list[int]]) -> dict[int, int]:
+        """Run the forwarding loop on dynamically-scaled integer coins.
+
+        Amounts count units of ``1/scale``; the scale starts at 1 and,
+        once per hop, escalates by the smallest factor that makes every
+        forwarder's share division of that hop exact (the lcm of the
+        per-division deficits ``|F| / gcd(amount, |F|)``).  The factor is
+        folded into the hop's single rebuild of the coins map, so an
+        escalation costs no extra pass.  Thresholds, shares, and the
+        final "holds > 0 coins" test are value-for-value identical to
+        Fraction arithmetic.
+        """
+        gcd = math.gcd
+        scale = 1
+        coins: dict[int, int] = {self.root: self.x}
+        for _ in range(self.forward_iterations):
+            # First pass: find this hop's forwarders and the one factor
+            # that clears every remainder (1 when all divisions are exact).
+            factor = 1
+            forwarding: dict[int, int] = {}
+            for u, amount in coins.items():
+                fset = fsets.get(u)
+                if fset and amount >= len(fset) * scale:
+                    k = len(fset)
+                    forwarding[u] = k
+                    remainder = amount % k
+                    if remainder:
+                        need = k // gcd(remainder, k)
+                        if factor % need:
+                            factor = factor // gcd(factor, need) * need
+            if not forwarding:
+                break
+            if factor > 1:
+                scale *= factor
+                if scale > self.peak_coin_scale:
+                    self.peak_coin_scale = scale
+            # Second pass: rebuild the map at the (possibly escalated)
+            # scale — forwarders split exactly, everyone else rests.
+            next_coins: dict[int, int] = {}
+            get = next_coins.get
+            for u, amount in coins.items():
+                k = forwarding.get(u)
+                if k is None:
+                    # Outside S_v, too few coins, or isolated: coins rest.
+                    next_coins[u] = get(u, 0) + amount * factor
+                else:
+                    share = amount * factor // k  # exact by choice of factor
+                    for w in fsets[u]:
+                        next_coins[w] = get(w, 0) + share
+            coins = next_coins
+        return coins
+
+    def _forward_fractions(self, fsets: dict[int, list[int]]) -> dict[int, Fraction]:
+        """The Fraction-coin forwarding loop (deep-horizon fallback)."""
+        coins: dict[int, Fraction] = {self.root: Fraction(self.x)}
+        for _ in range(self.forward_iterations):
+            moved = False
+            next_coins: dict[int, Fraction] = {}
+            get = next_coins.get
+            for u, amount in coins.items():
+                fset = fsets.get(u)
+                if fset and amount >= len(fset):
+                    share = amount / len(fset)
+                    for w in fset:
+                        next_coins[w] = get(w, 0) + share
+                    moved = True
+                else:
+                    next_coins[u] = get(u, 0) + amount
+            coins = next_coins
+            if not moved:
+                break
+        return coins
 
     def run(self) -> CoinGameResult:
         """Play x² super-iterations (early-exit on fixpoint unless strict)."""

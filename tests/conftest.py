@@ -1,6 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and options for the test suite.
+
+Adds two execution knobs:
+
+- ``--workers N`` — worker-process count the parallel-equivalence suite
+  exercises on top of its built-in {1, 2, 4} matrix (defaults to
+  ``$REPRO_WORKERS`` or 1, so the CI matrix leg that exports
+  ``REPRO_WORKERS=2`` routes every columnar lca round through the pool).
+- ``--slow`` — opt into tests marked ``slow`` (full-size shapes for the
+  differential harness); they are deselected by default so the tier-1
+  run stays fast, and CI's cron/label-gated job turns them on.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -14,6 +27,47 @@ from repro.graphs.generators import (
     union_of_random_forests,
 )
 from repro.graphs.graph import Graph
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_WORKERS", "1") or "1"),
+        help="worker processes the parallel-equivalence suite exercises "
+        "in addition to its built-in matrix (default: $REPRO_WORKERS or 1)",
+    )
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="run tests marked 'slow' (full-size differential shapes)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: full-size shapes, skipped unless --slow is given "
+        "(CI runs them in the cron/label-gated job)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow shape; opt in with --slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture
+def workers_option(request: pytest.FixtureRequest) -> int:
+    """The --workers option value (>= 1)."""
+    return max(1, int(request.config.getoption("--workers")))
 
 
 @pytest.fixture

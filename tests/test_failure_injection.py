@@ -1,19 +1,35 @@
-"""Failure injection: corrupted artifacts must be *detected*.
+"""Failure injection: corrupted artifacts and broken workers must be *detected*.
 
 Every experiment trusts the validators to fail loudly; these tests mutate
 correct outputs in targeted ways and assert the validators notice.  A
 validator that silently accepts garbage would make every green table in
-EXPERIMENTS.md meaningless.
+EXPERIMENTS.md meaningless.  The worker-pool section injects faults into
+the parallel coin-game engine — an exception mid-round, a poisoned
+(unpicklable) result, a worker death, a pool used after shutdown — and
+asserts each surfaces as one clear :class:`WorkerPoolError` with no
+orphan worker processes left behind.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.ampc.pool import (
+    _FAULT_ENV,
+    CoinGamePool,
+    WorkerPoolError,
+    close_shared_pools,
+)
 from repro.coloring.pipeline import coloring_two_plus_eps
+from repro.core.beta_partition_ampc import beta_partition_ampc
 from repro.core.orientation import Orientation, orient_by_partition
-from repro.graphs.generators import union_of_random_forests
+from repro.graphs.generators import random_gnm, union_of_random_forests
 from repro.graphs.validation import is_proper_coloring
 from repro.partition.beta_partition import INFINITY
 from repro.partition.induced import natural_beta_partition
@@ -104,6 +120,78 @@ class TestOrientationCorruption:
                 targets.pop()
                 break
         assert sum(len(o) for o in outs) == directed - 1  # caught by count
+
+
+@pytest.fixture
+def fresh_pool_env():
+    """Isolate pool state: faults only reach workers forked *after* the
+    env var is set, so shared pools from earlier tests must not leak in,
+    and whatever this test breaks must not leak out."""
+    close_shared_pools()
+    yield
+    os.environ.pop(_FAULT_ENV, None)
+    close_shared_pools()
+    assert multiprocessing.active_children() == []  # no orphan workers
+
+
+class TestWorkerPoolFaults:
+    def _partition(self, workers):
+        g = random_gnm(120, 240, seed=13)
+        return beta_partition_ampc(g, 9, store="columnar", workers=workers)
+
+    def test_worker_exception_surfaces_clearly(self, fresh_pool_env):
+        os.environ[_FAULT_ENV] = "raise"
+        with pytest.raises(WorkerPoolError, match="injected worker fault"):
+            self._partition(workers=2)
+
+    def test_unpicklable_result_surfaces_clearly(self, fresh_pool_env):
+        os.environ[_FAULT_ENV] = "unpicklable"
+        with pytest.raises(WorkerPoolError, match="failed mid-round"):
+            self._partition(workers=2)
+
+    def test_worker_death_surfaces_clearly(self, fresh_pool_env):
+        os.environ[_FAULT_ENV] = "exit"
+        with pytest.raises(WorkerPoolError, match="failed mid-round"):
+            self._partition(workers=2)
+
+    def test_faulted_pool_is_closed_and_replaced(self, fresh_pool_env):
+        os.environ[_FAULT_ENV] = "raise"
+        with pytest.raises(WorkerPoolError):
+            self._partition(workers=2)
+        assert multiprocessing.active_children() == []
+        # The poisoned pool was dropped: clearing the fault and retrying
+        # lazily builds a fresh one and succeeds.
+        os.environ.pop(_FAULT_ENV)
+        outcome = self._partition(workers=2)
+        assert outcome.partition.layers == self._partition(workers=1).partition.layers
+
+    def test_serial_path_ignores_fault_hook(self, fresh_pool_env):
+        # workers=1 never constructs a pool: the fault hook must be dead
+        # code there, and no child process may appear.
+        os.environ[_FAULT_ENV] = "raise"
+        before = multiprocessing.active_children()
+        outcome = self._partition(workers=1)
+        assert multiprocessing.active_children() == before
+        assert not outcome.partition.is_partial(range(120))
+
+    def test_pool_shutdown_mid_partition_is_loud(self, fresh_pool_env):
+        pool = CoinGamePool(workers=2)
+        pool.close()
+        offsets = np.array([0, 1, 2], dtype=np.int64)
+        targets = np.array([1, 0], dtype=np.int64)
+        with pytest.raises(WorkerPoolError, match="closed"):
+            pool.run_games(
+                offsets, targets,
+                np.array([0], dtype=np.int64), np.array([0], dtype=np.int64),
+                x=4, beta=2, clip=1, horizon=12,
+                scale=12, want_records=False,
+            )
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            beta_partition_ampc(random_gnm(10, 15, seed=1), 3, workers=0)
+        with pytest.raises(ValueError):
+            CoinGamePool(workers=1)
 
 
 class TestGuaranteeTightness:
