@@ -5,34 +5,41 @@ the scale the ROADMAP names as the dict path's breaking point (n = 10⁵),
 in the two regimes of Theorem 1.2:
 
 1. **lca** — the coin-dropping-game rounds (β = (2+ε)α on a sparse
-   ``random_gnm``, the default pipeline configuration).  The game is an
-   inherently adaptive per-vertex process; the columnar win here comes
-   from CSR-native residual encoding, flat-list adjacency probes, and the
-   worklist/lazy-σ game engine.
+   ``random_gnm``, the default pipeline configuration).  The columnar
+   fabric runs the lockstep batched game engine
+   (:mod:`repro.core.batched_games`) by default; the PR 2/3 per-game
+   scalar interpreter is timed alongside it (``columnar_scalar_s``) as
+   the engine baseline.
 2. **peel** — the Barenboim-Elkin fallback, where every round is a pure
    degree-mask array kernel and the speedup is the full dict-overhead
    factor.
 
-Both fabrics produce *identical* partitions, round counts, and per-round
-statistics (asserted here on the quick config and by the equivalence
-tests); the benchmark's job is only to time them.  The lca regime is
-additionally swept over ``workers`` (process-pool machine sharding;
-``columnar_workers_s`` in the JSON records the per-worker scaling —
-informative only on multi-core hosts, but every sweep point must still
-reproduce the serial partition exactly).
+All fabrics and engines produce *identical* partitions, round counts,
+and per-round statistics (asserted here on the quick config and by the
+equivalence tests); the benchmark's job is only to time them.  The lca
+regime is additionally swept over ``workers`` (process-pool machine
+sharding; ``columnar_workers_s`` in the JSON records the per-worker
+scaling — informative only on multi-core hosts, but every sweep point
+must still reproduce the serial partition exactly).
 
 Run as a script to (re)generate the tracked ``BENCH_ampc.json``::
 
     PYTHONPATH=src python benchmarks/bench_f4_ampc_runtime.py \
-        --out BENCH_ampc.json
+        --phases --out BENCH_ampc.json
 
-or with ``--quick`` for a CI-sized configuration.
+or with ``--quick`` for a CI-sized configuration.  ``--phases`` records
+the lca rounds' per-phase wall clock (explore / forward / fold / cache).
+``--check-regression BENCH_ampc.json`` compares the current run against
+the tracked baseline and fails (exit 2) if the lca columnar time
+regressed by more than 25% — normalized by the dict-oracle time of the
+same run, so the guard measures the code path, not the CI hardware.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 
 from repro.ampc.pool import close_shared_pools
@@ -44,11 +51,17 @@ QUICK_CONFIG = {"n": 8_000, "m": 16_000, "seed": 20260730, "beta": 9}
 FULL_WORKER_SWEEP = (1, 2, 4)
 QUICK_WORKER_SWEEP = (1, 2)
 
+# A quick-config lca run may regress this much against the tracked
+# baseline (after dict-normalization) before --check-regression fails.
+MAX_REGRESSION = 0.25
 
-def _time_run(graph, beta: int, mode: str, store: str, workers: int = 1):
+
+def _time_run(graph, beta: int, mode: str, store: str, workers: int = 1,
+              engine=None, phases=None):
     start = time.perf_counter()
     outcome = beta_partition_ampc(
-        graph, beta, mode=mode, store=store, workers=workers
+        graph, beta, mode=mode, store=store, workers=workers, engine=engine,
+        phases=phases,
     )
     elapsed = time.perf_counter() - start
     return elapsed, outcome
@@ -60,15 +73,48 @@ def bench_mode(
     mode: str,
     check_equivalence: bool,
     worker_sweep: tuple[int, ...] = (),
+    phases: bool = False,
+    repeats: int = 1,
 ) -> dict:
     """Columnar vs dict wall-clock for one Theorem 1.2 regime.
 
     ``worker_sweep`` additionally times the columnar path at each worker
     count (per-machine coin-game sharding over the process pool) and
     verifies every sweep point reproduces the serial partition exactly.
+    ``repeats`` takes the best of that many timings for every measured
+    configuration — quick configs are noisy enough that the regression
+    guard needs it, and the min must apply symmetrically or the derived
+    ratios (speedup, engine_speedup, worker scaling) would be biased.
     """
-    columnar_s, columnar = _time_run(graph, beta, mode, "columnar")
+    want_phases = phases and mode == "lca"
+    phase_times: dict | None = {} if want_phases else None
+    columnar_s, columnar = _time_run(
+        graph, beta, mode, "columnar", phases=phase_times
+    )
+    for __ in range(repeats - 1):
+        repeat_phases: dict | None = {} if want_phases else None
+        repeat_s, __o = _time_run(
+            graph, beta, mode, "columnar", phases=repeat_phases
+        )
+        if repeat_s < columnar_s:
+            # Keep the breakdown of the run the headline time reports.
+            columnar_s, phase_times = repeat_s, repeat_phases
+    scalar_s = scalar = None
+    if mode == "lca":
+        # Timed before the dict oracle so the engine comparison is not
+        # skewed by the dict run's interpreter-heap churn.
+        scalar_s, scalar = _time_run(
+            graph, beta, mode, "columnar", engine="scalar"
+        )
+        for __ in range(repeats - 1):
+            scalar_s = min(
+                scalar_s,
+                _time_run(graph, beta, mode, "columnar", engine="scalar")[0],
+            )
+        assert scalar.partition.layers == columnar.partition.layers
     dict_s, oracle = _time_run(graph, beta, mode, "dict")
+    for __ in range(repeats - 1):
+        dict_s = min(dict_s, _time_run(graph, beta, mode, "dict")[0])
     assert columnar.rounds == oracle.rounds
     assert columnar.partition.size() == oracle.partition.size()
     if check_equivalence:
@@ -91,12 +137,29 @@ def bench_mode(
             r.total_reads for r in columnar.simulator.stats.rounds
         ),
     }
+    if scalar_s is not None:
+        # Peel rounds are degree-mask kernels with no coin games, so the
+        # engine comparison only exists for lca mode.
+        report["engine"] = columnar.engine
+        report["columnar_scalar_s"] = round(scalar_s, 3)
+        report["engine_speedup"] = round(scalar_s / columnar_s, 2)
+    if phase_times is not None:
+        report["phases"] = {
+            k: round(v, 3) for k, v in sorted(phase_times.items())
+        }
     if worker_sweep:
         scaling = {"1": report["columnar_s"]}
         for workers in worker_sweep:
             if workers == 1:
                 continue
-            sweep_s, sweep = _time_run(graph, beta, mode, "columnar", workers)
+            sweep_s, sweep = _time_run(
+                graph, beta, mode, "columnar", workers=workers
+            )
+            for __ in range(repeats - 1):
+                sweep_s = min(
+                    sweep_s,
+                    _time_run(graph, beta, mode, "columnar", workers=workers)[0],
+                )
             assert sweep.partition.layers == columnar.partition.layers
             scaling[str(workers)] = round(sweep_s, 3)
         close_shared_pools()
@@ -108,18 +171,53 @@ def run(
     config: dict,
     check_equivalence: bool = False,
     worker_sweep: tuple[int, ...] = (),
+    phases: bool = False,
+    repeats: int = 1,
 ) -> dict:
     graph = random_gnm(config["n"], config["m"], config["seed"])
     return {
         "bench": "f4_ampc_runtime",
         "config": dict(config),
         "lca": bench_mode(
-            graph, config["beta"], "lca", check_equivalence, worker_sweep
+            graph, config["beta"], "lca", check_equivalence, worker_sweep,
+            phases=phases, repeats=repeats,
         ),
         "peel": bench_mode(
             graph, max(2, config["beta"] // 2), "peel", check_equivalence
         ),
     }
+
+
+def check_regression(report: dict, baseline: dict) -> list[str]:
+    """Compare a run against the tracked baseline's matching config.
+
+    Returns a list of failure messages (empty = within budget).  Times
+    are normalized by the same run's dict-oracle wall clock before
+    comparing, so the guard is about the columnar code path rather than
+    absolute CI hardware speed.
+    """
+    section = (
+        "quick" if report["config"] == baseline.get("quick", {}).get("config")
+        else None
+    )
+    if section == "quick":
+        base = baseline["quick"]["lca"]
+    elif report["config"] == baseline.get("config"):
+        base = baseline["lca"]
+    else:
+        return [
+            "no matching config in baseline: refresh the tracked JSON "
+            "with this benchmark's --out (and --quick for the quick block)"
+        ]
+    current_ratio = report["lca"]["columnar_s"] / report["lca"]["dict_s"]
+    base_ratio = base["columnar_s"] / base["dict_s"]
+    if current_ratio > base_ratio * (1 + MAX_REGRESSION):
+        return [
+            f"lca columnar regressed: columnar/dict ratio {current_ratio:.4f} "
+            f"vs baseline {base_ratio:.4f} "
+            f"(>{MAX_REGRESSION:.0%} over budget)"
+        ]
+    return []
 
 
 def test_f4_ampc_runtime(benchmark, show_table):
@@ -129,6 +227,7 @@ def test_f4_ampc_runtime(benchmark, show_table):
             QUICK_CONFIG,
             check_equivalence=True,
             worker_sweep=QUICK_WORKER_SWEEP,
+            phases=True,
         ),
         rounds=1,
         iterations=1,
@@ -137,12 +236,14 @@ def test_f4_ampc_runtime(benchmark, show_table):
         {"metric": f"{mode}.{key}", "value": value}
         for mode in ("lca", "peel")
         for key, value in report[mode].items()
+        if not isinstance(value, dict)
     ]
     show_table(rows, "F4 — AMPC runtime (quick config)")
     # Loose bounds for shared CI hardware; the committed BENCH_ampc.json
     # records the full-size numbers.
     assert report["lca"]["speedup"] >= 1.5
     assert report["peel"]["speedup"] >= 3.0
+    assert set(report["lca"]["phases"]) >= {"explore", "forward", "fold"}
 
 
 def main() -> None:
@@ -152,7 +253,22 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=FULL_CONFIG["seed"])
     parser.add_argument("--beta", type=int, default=FULL_CONFIG["beta"])
     parser.add_argument("--quick", action="store_true", help="CI-sized config")
+    parser.add_argument(
+        "--phases", action="store_true",
+        help="record per-phase lca wall clock (explore/forward/fold/cache)",
+    )
     parser.add_argument("--out", default=None, help="write JSON here")
+    parser.add_argument(
+        "--quick-baseline", action="store_true",
+        help="additionally run the quick config and attach it as the "
+        "'quick' block (the reference --check-regression compares "
+        "CI quick runs against); use when refreshing the tracked JSON",
+    )
+    parser.add_argument(
+        "--check-regression", default=None, metavar="BASELINE",
+        help="compare against this tracked JSON; exit 2 if the lca "
+        f"columnar time regressed >{MAX_REGRESSION:.0%} (dict-normalized)",
+    )
     args = parser.parse_args()
     if args.quick:
         config = dict(QUICK_CONFIG)
@@ -160,12 +276,33 @@ def main() -> None:
     else:
         config = {"n": args.n, "m": args.m, "seed": args.seed, "beta": args.beta}
         sweep = FULL_WORKER_SWEEP
-    report = run(config, check_equivalence=args.quick, worker_sweep=sweep)
+    report = run(
+        config, check_equivalence=args.quick, worker_sweep=sweep,
+        phases=args.phases, repeats=3 if args.quick else 1,
+    )
+    if args.quick_baseline and not args.quick:
+        quick = run(QUICK_CONFIG, check_equivalence=True, repeats=3)
+        report["quick"] = {
+            "config": quick["config"],
+            "lca": {
+                "columnar_s": quick["lca"]["columnar_s"],
+                "dict_s": quick["lca"]["dict_s"],
+                "speedup": quick["lca"]["speedup"],
+            },
+        }
     text = json.dumps(report, indent=2)
     print(text)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
+    if args.check_regression:
+        with open(args.check_regression) as handle:
+            baseline = json.load(handle)
+        failures = check_regression(report, baseline)
+        for message in failures:
+            print(f"REGRESSION: {message}", file=sys.stderr)
+        if failures:
+            raise SystemExit(2)
 
 
 if __name__ == "__main__":

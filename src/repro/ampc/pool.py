@@ -11,9 +11,13 @@ simulator exploits exactly that freedom, nothing more:
 - **Sharding.**  The driver splits the round's machine ids into
   contiguous shards (several per worker, so stragglers rebalance) and
   submits each shard to a persistent :class:`~concurrent.futures.
-  ProcessPoolExecutor`.  Per-machine semantics are untouched — each
-  worker runs the very same :func:`~repro.core.columnar_rounds.
-  play_coin_game` the serial kernel runs.
+  ProcessPoolExecutor`.  Per-machine semantics are untouched — a shard
+  is a game-index slice of the round's fleet, run through the very same
+  engine the serial kernel runs (the lockstep struct-of-arrays kernels
+  of :mod:`repro.core.batched_games`, or
+  :func:`~repro.core.columnar_rounds.play_coin_game` for the scalar
+  oracle).  Rounds smaller than :data:`MIN_POOL_GAMES` skip dispatch
+  entirely — at that size the pool's fixed cost exceeds the games.
 - **Shared read-only residual graph.**  The round's residual CSR
   (offsets, targets) is published once per round through
   :mod:`multiprocessing.shared_memory`; shard payloads carry only the
@@ -61,6 +65,7 @@ import numpy as np
 
 __all__ = [
     "CoinGamePool",
+    "MIN_POOL_GAMES",
     "WorkerPoolError",
     "close_shared_pools",
     "defer_full_gc",
@@ -71,6 +76,16 @@ __all__ = [
 # Test hook (see tests/test_failure_injection.py): set before the pool
 # forks to make every worker shard misbehave in a controlled way.
 _FAULT_ENV = "_REPRO_POOL_FAULT"
+
+# Rounds with fewer pending games than this run in-process even when a
+# pool is available: publishing the CSR, pickling shards, and collecting
+# futures costs on the order of a millisecond — more than this many
+# games cost under the batched engine — so small rounds (the long tail
+# of a multi-round partition, and everything on a 1-core host where
+# extra workers only add overhead) skip dispatch entirely.  Callers can
+# override per run via ``min_pool_games`` (tests pin it to 1 to force
+# dispatch on tiny differential shapes).
+MIN_POOL_GAMES = 256
 
 
 class WorkerPoolError(RuntimeError):
@@ -98,11 +113,22 @@ def defer_full_gc():
         gc.set_threshold(gen0, gen1, gen2)
 
 
-def resolve_workers(workers: int | None) -> int:
-    """Normalize a ``workers`` knob: None -> $REPRO_WORKERS -> 1."""
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize a ``workers`` knob: None -> $REPRO_WORKERS -> "auto".
+
+    ``"auto"`` (the default when neither the caller nor the environment
+    says otherwise) resolves to the machine's CPU count, so a 1-core
+    host never pays pool-dispatch overhead while multi-core hosts shard
+    by default; combined with :data:`MIN_POOL_GAMES` this is what the
+    pipelines run with.  Explicit integers are taken as-is.
+    """
     if workers is None:
         env = os.environ.get("REPRO_WORKERS", "").strip()
-        workers = int(env) if env else 1
+        workers = env if env else "auto"
+    if isinstance(workers, str):
+        if workers == "auto":
+            return max(1, os.cpu_count() or 1)
+        workers = int(workers)
     workers = int(workers)
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -122,11 +148,14 @@ class ShardResult(NamedTuple):
 
 # -- worker side -----------------------------------------------------------
 
-# One-slot cache of the current round's adjacency lists, keyed by the
+# One-slot cache of the current round's residual CSR (and the flat
+# adjacency lists the scalar engine derives from it), keyed by the
 # shared-memory segment names (unique per round): the first shard a
-# worker receives pays the CSR -> flat-list conversion, later shards of
-# the same round reuse it.
-_ADJ_CACHE: dict[str, object] = {"key": None, "adj": None}
+# worker receives pays the copy/conversion, later shards of the same
+# round reuse it.
+_CSR_CACHE: dict[str, object] = {
+    "key": None, "csr": None, "adj": None, "transpose": None
+}
 
 
 def _attached_array(name: str, count: int) -> tuple[SharedMemory, np.ndarray]:
@@ -138,42 +167,91 @@ def _attached_array(name: str, count: int) -> tuple[SharedMemory, np.ndarray]:
     return shm, np.frombuffer(shm.buf, dtype=np.int64, count=count)
 
 
-def _load_adjacency(
+def _load_csr(
     offsets_name: str, targets_name: str, num_offsets: int, num_targets: int
-) -> list:
+) -> tuple[np.ndarray, np.ndarray]:
+    """This round's residual CSR as worker-private arrays (cached)."""
     key = (offsets_name, targets_name)
-    if _ADJ_CACHE["key"] == key:
-        return _ADJ_CACHE["adj"]
-    from repro.core.columnar_rounds import residual_adjacency_lists
-
+    if _CSR_CACHE["key"] == key:
+        return _CSR_CACHE["csr"]
     off_shm, offsets = _attached_array(offsets_name, num_offsets)
     tgt_shm, targets = _attached_array(targets_name, num_targets)
     try:
-        adj = residual_adjacency_lists(offsets, targets)
+        csr = (offsets.copy(), targets.copy())
     finally:
         del offsets, targets  # release the buffer views before closing
         off_shm.close()
         tgt_shm.close()
-    _ADJ_CACHE["key"] = key
-    _ADJ_CACHE["adj"] = adj
-    return adj
+    _CSR_CACHE["key"] = key
+    _CSR_CACHE["csr"] = csr
+    _CSR_CACHE["adj"] = None
+    _CSR_CACHE["transpose"] = None
+    return csr
+
+
+def _load_adjacency(csr_meta: tuple[str, str, int, int]) -> list:
+    offsets, targets = _load_csr(*csr_meta)
+    if _CSR_CACHE["adj"] is None:
+        from repro.core.columnar_rounds import residual_adjacency_lists
+
+        _CSR_CACHE["adj"] = residual_adjacency_lists(offsets, targets)
+    return _CSR_CACHE["adj"]
+
+
+def _load_transpose(csr_meta: tuple[str, str, int, int]):
+    """The round's CSR transpose-position map (per-round constant)."""
+    offsets, targets = _load_csr(*csr_meta)
+    if _CSR_CACHE["transpose"] is None:
+        from repro.core.batched_games import csr_transpose_positions
+
+        _CSR_CACHE["transpose"] = csr_transpose_positions(offsets, targets)
+    return _CSR_CACHE["transpose"]
 
 
 def _play_shard(
     csr_meta: tuple[str, str, int, int],
     roots: np.ndarray,
-    params: tuple[int, int, int, int, int | None, bool],
+    params: tuple[int, int, int, int, int | None, bool, str],
 ):
-    """Run one shard of coin-game machines inside a worker process."""
+    """Run one shard of coin-game machines inside a worker process.
+
+    With ``engine="batched"`` the shard is a game-index slice of the
+    round's fleet run through the lockstep engine against the shared
+    CSR; with ``engine="scalar"`` each game is interpreted one at a
+    time.  Both report the identical :class:`ShardResult` shape.
+    """
     fault = os.environ.get(_FAULT_ENV, "")
     if fault == "raise":
         raise RuntimeError("injected worker fault (test hook)")
     if fault == "exit":  # pragma: no cover - exercised via subprocess
         os._exit(17)
+    x, beta, clip, horizon, scale, want_records, engine = params
+    if engine == "batched":
+        from repro.core.columnar_rounds import run_games_batched_with_fallback
+
+        offsets, targets = _load_csr(*csr_meta)
+        n = len(offsets) - 1
+        out_layer_arr = np.full(n, float("inf"))
+        out_count_arr = np.zeros(n, dtype=np.int64)
+        with defer_full_gc():
+            reads, writes, records = run_games_batched_with_fallback(
+                offsets, targets, roots,
+                x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
+                out_layer=out_layer_arr, out_count=out_count_arr,
+                want_records=want_records,
+                transpose_pos=_load_transpose(csr_meta),
+            )
+        fold_vertices = np.flatnonzero(out_count_arr)
+        fold_minima = out_layer_arr[fold_vertices]
+        fold_counts = out_count_arr[fold_vertices]
+        if fault == "unpicklable":
+            return lambda: None  # poisoned result: cannot cross the pipe
+        return ShardResult(
+            reads, writes, fold_vertices, fold_minima, fold_counts, records
+        )
     from repro.core.columnar_rounds import play_coin_game
 
-    adj = _load_adjacency(*csr_meta)
-    x, beta, clip, horizon, scale, want_records = params
+    adj = _load_adjacency(csr_meta)
     # Dense accumulators exactly like the serial kernel's (plain list
     # indexing in the game's fold loop), sparsified vectorized below.
     n = len(adj)
@@ -266,6 +344,7 @@ class CoinGamePool:
         horizon: int,
         scale: int | None,
         want_records: bool,
+        engine: str = "scalar",
     ) -> list[tuple[np.ndarray, ShardResult]]:
         """Play the games rooted at ``roots`` across the worker fleet.
 
@@ -273,6 +352,8 @@ class CoinGamePool:
         array; the return value pairs every shard's position slice with
         its :class:`ShardResult` so the caller can scatter accounting and
         fold layer deltas (both order-independent operations).
+        ``engine`` selects the per-shard execution (lockstep ``"batched"``
+        kernels or the one-game-at-a-time ``"scalar"`` interpreter).
         """
         if self.closed:
             raise WorkerPoolError("coin-game worker pool is closed")
@@ -282,7 +363,7 @@ class CoinGamePool:
         try:
             executor = self._ensure_executor()
             csr_meta, segments = self._publish_csr(offsets, targets)
-            params = (x, beta, clip, horizon, scale, want_records)
+            params = (x, beta, clip, horizon, scale, want_records, engine)
             num_shards = min(
                 len(roots), self.workers * self.chunks_per_worker
             )

@@ -124,14 +124,16 @@ def coloring_alpha_squared_eps(
     delta: float = 0.5,
     x: int | None = None,
     store: str = "columnar",
-    workers: int | None = None,
+    workers: int | str | None = None,
+    engine: str | None = None,
 ) -> PipelineResult:
     """Theorem 1.3(1): O(α^{2+ε})-coloring in O(1/ε) AMPC rounds."""
     if graph.num_edges == 0:
         return _trivial_result(graph, "alpha_squared_eps", alpha, eps)
     beta = max(math.ceil(alpha ** (1 + eps)), 2 * alpha + 1, 2)
     outcome = beta_partition_ampc(
-        graph, beta, delta=delta, x=x, store=store, workers=workers
+        graph, beta, delta=delta, x=x, store=store, workers=workers,
+        engine=engine,
     )
     orientation = orient_by_partition(graph, outcome.partition)
     linial = arb_linial_coloring(orientation, beta)
@@ -167,14 +169,16 @@ def coloring_alpha_squared(
     delta: float = 0.5,
     x: int | None = None,
     store: str = "columnar",
-    workers: int | None = None,
+    workers: int | str | None = None,
+    engine: str | None = None,
 ) -> PipelineResult:
     """Theorem 1.3(2): O(α²)-coloring in O(log α) AMPC rounds."""
     if graph.num_edges == 0:
         return _trivial_result(graph, "alpha_squared", alpha, eps)
     beta = max(math.ceil((2 + eps) * alpha), 2)
     outcome = beta_partition_ampc(
-        graph, beta, delta=delta, x=x, store=store, workers=workers
+        graph, beta, delta=delta, x=x, store=store, workers=workers,
+        engine=engine,
     )
     orientation = orient_by_partition(graph, outcome.partition)
     linial = arb_linial_coloring(orientation, beta)
@@ -211,7 +215,8 @@ def coloring_two_plus_eps(
     x: int | None = None,
     initial_method: str = "kw",
     store: str = "columnar",
-    workers: int | None = None,
+    workers: int | str | None = None,
+    engine: str | None = None,
 ) -> PipelineResult:
     """Theorem 1.3(3): ((2+ε)α+1)-coloring in Õ(α/ε) AMPC rounds.
 
@@ -226,7 +231,8 @@ def coloring_two_plus_eps(
         raise ValueError("initial_method must be 'kw' or 'mpc'")
     beta = max(math.ceil((2 + eps) * alpha), 2)
     outcome = beta_partition_ampc(
-        graph, beta, delta=delta, x=x, store=store, workers=workers
+        graph, beta, delta=delta, x=x, store=store, workers=workers,
+        engine=engine,
     )
     partition = outcome.partition
     layers = _layers_of(partition, graph)
@@ -300,7 +306,8 @@ def coloring_large_alpha(
     delta: float = 0.5,
     x: int | None = None,
     store: str = "columnar",
-    workers: int | None = None,
+    workers: int | str | None = None,
+    engine: str | None = None,
 ) -> PipelineResult:
     """Section 6.4: O(α^{1+ε})-coloring in O(1/ε) rounds via per-layer
     Theorem 1.5 with fresh palettes (works for α up to n^δ and beyond)."""
@@ -308,7 +315,8 @@ def coloring_large_alpha(
         return _trivial_result(graph, "large_alpha", alpha, eps)
     beta = max(math.ceil(alpha ** (1 + eps)), 2 * alpha + 1, 2)
     outcome = beta_partition_ampc(
-        graph, beta, delta=delta, x=x, store=store, workers=workers
+        graph, beta, delta=delta, x=x, store=store, workers=workers,
+        engine=engine,
     )
     layers = _layers_of(outcome.partition, graph)
     trial_x = max(2, round(alpha**eps))
@@ -350,7 +358,8 @@ def color_graph(
     eps: float = 1.0,
     delta: float = 0.5,
     store: str = "columnar",
-    workers: int | None = None,
+    workers: int | str | None = None,
+    engine: str | None = None,
 ) -> PipelineResult:
     """Color ``graph`` with an arboricity-dependent AMPC pipeline.
 
@@ -359,9 +368,14 @@ def color_graph(
     graphs).  ``variant="auto"`` picks the fewest-colors pipeline
     (two_plus_eps); other values name the specific theorem part.
     ``store`` selects the Theorem 1.2 execution fabric ("columnar" array
-    kernels by default; "dict" is the per-machine oracle path) and
-    ``workers`` how many processes its lca rounds shard across
-    (None reads ``$REPRO_WORKERS``; results are identical either way).
+    kernels by default; "dict" is the per-machine oracle path),
+    ``workers`` how many processes its lca rounds shard across (None
+    reads ``$REPRO_WORKERS`` and defaults to ``"auto"`` — the CPU count,
+    with small rounds skipping pool dispatch entirely), and ``engine``
+    how the coin games execute ("batched" lockstep array kernels by
+    default, "scalar" for the per-game oracle interpreter).  All three
+    are pure throughput knobs: results are identical for every
+    combination.
     """
     if alpha is None:
         alpha = max(1, degeneracy(graph))
@@ -375,5 +389,6 @@ def color_graph(
     if variant not in dispatch:
         raise ValueError(f"unknown variant {variant!r}; options: {sorted(dispatch)}")
     return dispatch[variant](
-        graph, alpha, eps=eps, delta=delta, store=store, workers=workers
+        graph, alpha, eps=eps, delta=delta, store=store, workers=workers,
+        engine=engine,
     )

@@ -78,6 +78,7 @@ class BetaPartitionOutcome:
     unlayered_per_round: list[int] = field(default_factory=list)
     workers: int = 1  # worker processes the lca rounds sharded across
     game_cache_hits: int = 0  # coin games replayed from the cross-round cache
+    engine: str = "scalar"  # coin-game execution: "batched" or "scalar"
 
     @property
     def num_layers(self) -> int:
@@ -143,7 +144,10 @@ def beta_partition_ampc(
     strict_space: bool = False,
     max_rounds: int | None = None,
     store: StoreKind = "columnar",
-    workers: int | None = None,
+    workers: int | str | None = None,
+    engine: str | None = None,
+    min_pool_games: int | None = None,
+    phases: dict | None = None,
 ) -> BetaPartitionOutcome:
     """Compute a complete β-partition of ``graph`` in simulated AMPC.
 
@@ -169,22 +173,43 @@ def beta_partition_ampc(
     workers:
         Worker processes the columnar lca rounds shard their machine
         fleet across (:mod:`repro.ampc.pool`); None reads
-        ``$REPRO_WORKERS``, defaulting to 1 (serial, in-process).  A pure
-        throughput knob: results are bit-identical for every value.  The
-        dict-backed oracle accepts the knob but always replays its
-        machines serially — it exists to pin down the semantics the
-        sharded path must reproduce.
+        ``$REPRO_WORKERS``, defaulting to ``"auto"`` (the CPU count, so
+        1-core hosts stay serial).  A pure throughput knob: results are
+        bit-identical for every value.  The dict-backed oracle accepts
+        the knob but always replays its machines serially — it exists to
+        pin down the semantics the sharded path must reproduce.
+    engine:
+        Coin-game execution for the columnar lca rounds: ``"batched"``
+        (the default — all of a round's games advance in lockstep as
+        array kernels, :mod:`repro.core.batched_games`) or ``"scalar"``
+        (one adaptive Python interpretation per game, the PR 2/3 engine
+        kept verbatim as the oracle).  A pure throughput knob — every
+        observable is bit-identical.  The dict-backed store ignores it
+        (its machines always run the per-vertex
+        :class:`~repro.lca.coin_game.CoinDroppingGame`).
+    min_pool_games:
+        Rounds with fewer pending games than this run in-process even
+        when workers > 1 (None: :data:`repro.ampc.pool.MIN_POOL_GAMES`).
+    phases:
+        Optional dict accumulating per-phase wall-clock seconds of the
+        lca rounds (``explore`` / ``forward`` / ``fold`` / ``cache``;
+        all keys always present).  Worker shards are not instrumented,
+        so pool-dispatched rounds contribute only to ``cache`` — time
+        phase breakdowns with ``workers=1``, as the benchmark does.
     """
     if beta < 1:
         raise ValueError("beta must be >= 1")
     if store not in ("columnar", "dict"):
         raise ValueError('store must be "columnar" or "dict"')
+    if engine not in (None, "batched", "scalar"):
+        raise ValueError('engine must be "batched" or "scalar"')
+    engine = engine or "batched"
     workers = resolve_workers(workers)
     n = graph.num_vertices
     if n == 0:
         return BetaPartitionOutcome(
             partition=PartialBetaPartition({}), beta=beta, rounds=0, mode="lca", x=0,
-            workers=workers,
+            workers=workers, engine=engine if store == "columnar" else "scalar",
         )
     input_size = n + graph.num_edges
     sim = AMPCSimulator(
@@ -213,7 +238,8 @@ def beta_partition_ampc(
     with defer_full_gc():
         if store == "columnar":
             return _run_columnar(
-                graph, sim, beta, x, mode, max_rounds, workers, pool
+                graph, sim, beta, x, mode, max_rounds, workers, pool,
+                engine, min_pool_games, phases,
             )
         return _run_dict(graph, sim, beta, x, mode, max_rounds, workers)
 
@@ -292,6 +318,9 @@ def _run_columnar(
     max_rounds: int,
     workers: int,
     pool,
+    engine: str,
+    min_pool_games: int | None,
+    phases: dict | None,
 ) -> BetaPartitionOutcome:
     """The batched columnar loop — observationally identical to the dict
     path, with the residual re-encode, peel round, and DDS-side min-merge
@@ -319,7 +348,8 @@ def _run_columnar(
             kernel = partial(peel_round_kernel, beta=beta)
         else:
             kernel = partial(
-                lca_round_kernel, beta=beta, x=x, pool=pool, cache=game_cache
+                lca_round_kernel, beta=beta, x=x, pool=pool, cache=game_cache,
+                engine=engine, min_pool_games=min_pool_games, phases=phases,
             )
         target = sim.round_vectorized(alive, kernel, reducer=min)
         assigned_vs, assigned_layers = target.layer_assignments()
@@ -349,6 +379,7 @@ def _run_columnar(
         unlayered_per_round=unlayered_history,
         workers=workers,
         game_cache_hits=game_cache.hits if game_cache is not None else 0,
+        engine=engine,
     )
 
 

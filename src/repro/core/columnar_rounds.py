@@ -57,16 +57,23 @@ Two scaling layers sit on top of the game engine:
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 
 import numpy as np
 
 from repro.ampc.machine import BatchMachineContext
+from repro.ampc.pool import MIN_POOL_GAMES
+from repro.core.batched_games import (
+    csr_transpose_positions,
+    play_games_batched,
+)
 from repro.graphs.graph import Graph
 from repro.lca.coin_game import fixed_coin_scale, max_provable_layer
 
 __all__ = [
     "GameCache",
+    "LazyAdjacency",
     "lca_round_kernel",
     "peel_round_kernel",
     "play_coin_game",
@@ -85,6 +92,11 @@ __all__ = [
 # round-over-round, so records need not carry it themselves.
 
 _INF = float("inf")
+
+# Lockstep games run in game-index blocks of this size so each block's
+# struct-of-arrays arena stays cache-resident (see
+# run_games_batched_with_fallback); a pure throughput knob.
+COHORT_GAMES = 8192
 
 
 def residual_csr(
@@ -222,12 +234,106 @@ def peel_round_kernel(batch: BatchMachineContext, beta: int) -> None:
     batch.account(reads, writes)
 
 
+class LazyAdjacency:
+    """Residual adjacency rows materialized (and memoized) on demand.
+
+    Ejected-game replays probe only the few dozen rows of one game's
+    ball; converting the whole residual CSR to flat lists for them would
+    dwarf the replay itself.  Supports exactly the ``adj[u]`` access
+    :func:`play_coin_game` performs.
+    """
+
+    def __init__(self, offsets: np.ndarray, targets: np.ndarray) -> None:
+        self._offsets = offsets
+        self._targets = targets
+        self._rows: dict[int, list[int]] = {}
+
+    def __getitem__(self, v: int) -> list[int]:
+        row = self._rows.get(v)
+        if row is None:
+            start, stop = int(self._offsets[v]), int(self._offsets[v + 1])
+            row = self._targets[start:stop].tolist()
+            self._rows[v] = row
+        return row
+
+
+def run_games_batched_with_fallback(
+    offsets: np.ndarray,
+    targets: np.ndarray,
+    roots: np.ndarray,
+    *,
+    x: int,
+    beta: int,
+    clip: int,
+    horizon: int,
+    scale: int | None,
+    out_layer: np.ndarray,
+    out_count: np.ndarray,
+    want_records: bool,
+    phases: dict | None = None,
+    transpose_pos: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, list | None]:
+    """The lockstep engine plus its per-game scalar escape hatch.
+
+    Games the batched engine ejects (coin scales past the machine-word
+    budget — see :mod:`repro.core.batched_games`) replay through
+    :func:`play_coin_game`, whose fixed-scale Python integers widen to
+    bigints (or Fractions for deep horizons); both paths fold into the
+    same ``out_layer``/``out_count`` accumulators.  ``transpose_pos``
+    lets callers that run many fleets against one residual CSR (pool
+    workers, chiefly) reuse the per-round transpose map.
+    """
+    # Cohort blocking: the engine's state is gathered/scattered millions
+    # of times per round, and a whole-fleet arena (hundreds of MB at
+    # bench scale) turns every access into a cache miss.  Games are
+    # independent and every fold is commutative, so running the fleet as
+    # cache-sized game-index blocks is observationally identical — each
+    # block's arena stays resident the way a scalar game's dicts do.
+    num_games = len(roots)
+    block = COHORT_GAMES
+    all_reads = np.zeros(num_games, dtype=np.int64)
+    all_writes = np.zeros(num_games, dtype=np.int64)
+    records: list | None = [None] * num_games if want_records else None
+    ejected: list[int] = []
+    if transpose_pos is None:
+        transpose_pos = csr_transpose_positions(offsets, targets)
+    for start in range(0, num_games, block):
+        stop = min(start + block, num_games)
+        info = play_games_batched(
+            offsets, targets, roots[start:stop],
+            x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
+            out_layer=out_layer, out_count=out_count,
+            want_records=want_records, phases=phases,
+            transpose_pos=transpose_pos,
+        )
+        all_reads[start:stop] = info.reads
+        all_writes[start:stop] = info.writes
+        if records is not None:
+            records[start:stop] = info.records
+        ejected.extend((info.ejected + start).tolist())
+    if ejected:
+        adj = LazyAdjacency(offsets, targets)
+        for gi in ejected:
+            reads, writes, record = play_coin_game(
+                adj, int(roots[gi]), x, beta, clip, horizon, scale,
+                out_layer, out_count, want_records,
+            )
+            all_reads[gi] = reads
+            all_writes[gi] = writes
+            if records is not None:
+                records[gi] = record
+    return all_reads, all_writes, records
+
+
 def lca_round_kernel(
     batch: BatchMachineContext,
     beta: int,
     x: int,
     pool=None,
     cache: GameCache | None = None,
+    engine: str = "batched",
+    min_pool_games: int | None = None,
+    phases: dict | None = None,
 ) -> None:
     """One LCA round: every alive machine plays the coin game.
 
@@ -236,12 +342,25 @@ def lca_round_kernel(
     and write counts are accounted per machine, exactly as the scalar
     :class:`~repro.ampc.machine.MachineContext` would have charged them.
 
-    ``cache`` (a :class:`GameCache`) replays memoized games whose
-    explored view is unchanged since the previous round; ``pool`` (a
+    ``engine`` selects how the fleet's games execute: ``"batched"`` runs
+    them in lockstep as array kernels (:mod:`repro.core.batched_games`),
+    ``"scalar"`` interprets them one at a time (:func:`play_coin_game`,
+    the PR 2/3 engine, kept verbatim as the oracle).  ``cache`` (a
+    :class:`GameCache`) replays memoized games whose explored view is
+    unchanged since the previous round; ``pool`` (a
     :class:`repro.ampc.pool.CoinGamePool`) shards the remaining fleet
-    across worker processes.  Both layers fold through the same min/+
-    accumulators, so partitions, per-round stats, and word counts are
-    identical to the serial uncached path regardless of either knob.
+    across worker processes — unless the round has fewer than
+    ``min_pool_games`` games left, where dispatch overhead would exceed
+    the games themselves and the round runs in-process.  All layers fold
+    through the same min/+ accumulators, so partitions, per-round stats,
+    and word counts are identical for every knob combination.
+
+    ``phases``, when given, accumulates per-phase wall-clock seconds
+    (``explore`` / ``forward`` / ``fold`` from the batched engine plus
+    ``cache`` for memoized-replay handling).  Worker shards are not
+    instrumented: rounds dispatched to the pool contribute only to
+    ``cache`` (all four keys are always present, so a run whose games
+    all went to workers reads as zeros, not missing keys).
     """
     alive = batch.machine_ids
     offsets, targets = batch.previous.adjacency_csr()
@@ -250,11 +369,19 @@ def lca_round_kernel(
     horizon = 4 * (clip + 2)
     scale = fixed_coin_scale(beta, horizon)
     want_records = cache is not None and cache.armed
-    out_layer = [_INF] * n
-    out_count = [0] * n
+    if min_pool_games is None:
+        min_pool_games = MIN_POOL_GAMES
     alive_list = alive.tolist()
+    clock = time.perf_counter if phases is not None else None
+    if phases is not None:
+        for key in ("cache", "explore", "forward", "fold"):
+            phases.setdefault(key, 0.0)
 
+    # Replayed proofs are collected first and folded in bulk below, so
+    # both engines share one fold path.
     pending: list[int] = []
+    replay_entries: list[tuple[int, int]] = []
+    t0 = clock() if clock else 0.0
     if want_records and len(cache):
         degrees = np.diff(offsets).tolist()
         alive_flags = [False] * n
@@ -268,10 +395,7 @@ def lca_round_kernel(
             if record is None:
                 pending.append(i)
                 continue
-            for u, lay in record[1]:
-                if lay < out_layer[u]:
-                    out_layer[u] = lay
-                out_count[u] += 1
+            replay_entries.extend(record[1])
             replayed.append(i)
             replay_reads.append(record[2])
             replay_writes.append(record[3])
@@ -288,8 +412,33 @@ def lca_round_kernel(
             cache.advance(np.diff(offsets).tolist())
         elif cache is not None:
             cache.armed = True  # record from the next round onward
+    if clock:
+        phases["cache"] = phases.get("cache", 0.0) + clock() - t0
 
-    if pending and pool is not None:
+    batched = engine == "batched"
+    if batched:
+        out_layer: object = np.full(n, _INF)
+        out_count: object = np.zeros(n, dtype=np.int64)
+        if replay_entries:
+            rep_u = np.fromiter(
+                (u for u, __ in replay_entries), dtype=np.int64,
+                count=len(replay_entries),
+            )
+            rep_lay = np.fromiter(
+                (lay for __, lay in replay_entries), dtype=np.int64,
+                count=len(replay_entries),
+            )
+            np.minimum.at(out_layer, rep_u, rep_lay)
+            np.add.at(out_count, rep_u, 1)
+    else:
+        out_layer = [_INF] * n
+        out_count = [0] * n
+        for u, lay in replay_entries:
+            if lay < out_layer[u]:
+                out_layer[u] = lay
+            out_count[u] += 1
+
+    if pending and pool is not None and len(pending) >= min_pool_games:
         positions = np.asarray(pending, dtype=np.int64)
         shards = pool.run_games(
             offsets,
@@ -302,20 +451,37 @@ def lca_round_kernel(
             horizon=horizon,
             scale=scale,
             want_records=want_records,
+            engine=engine,
         )
         for shard_positions, shard in shards:
-            for u, minimum, count in zip(
-                shard.fold_vertices.tolist(),
-                shard.fold_minima.tolist(),
-                shard.fold_counts.tolist(),
-            ):
-                if minimum < out_layer[u]:
-                    out_layer[u] = minimum
-                out_count[u] += count
+            if batched:
+                np.minimum.at(out_layer, shard.fold_vertices, shard.fold_minima)
+                np.add.at(out_count, shard.fold_vertices, shard.fold_counts)
+            else:
+                for u, minimum, count in zip(
+                    shard.fold_vertices.tolist(),
+                    shard.fold_minima.tolist(),
+                    shard.fold_counts.tolist(),
+                ):
+                    if minimum < out_layer[u]:
+                        out_layer[u] = minimum
+                    out_count[u] += count
             batch.account_at(shard_positions, shard.reads, shard.writes)
             if want_records:
                 for i, record in zip(shard_positions.tolist(), shard.records):
                     cache.store(alive_list[i], record)
+    elif pending and batched:
+        positions = np.asarray(pending, dtype=np.int64)
+        reads, writes, records = run_games_batched_with_fallback(
+            offsets, targets, alive[positions],
+            x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
+            out_layer=out_layer, out_count=out_count,
+            want_records=want_records, phases=phases,
+        )
+        batch.account_at(positions, reads, writes)
+        if want_records:
+            for i, record in zip(pending, records):
+                cache.store(alive_list[i], record)
     elif pending:
         adj = residual_adjacency_lists(offsets, targets, alive)
         reads = np.zeros(len(pending), dtype=np.int64)
@@ -330,7 +496,7 @@ def lca_round_kernel(
                 cache.store(v, record)
         batch.account_at(np.asarray(pending, dtype=np.int64), reads, writes)
 
-    minima = np.array(out_layer)
+    minima = out_layer if batched else np.array(out_layer)
     counts = np.asarray(out_count, dtype=np.int64)
     batch.target.install_layer_column(minima, counts)
 

@@ -32,15 +32,22 @@ def run_lca_quality(
     xs: tuple[int, ...] = (16, 64),
     eps: float = 1.0,
     seed: int = 1,
+    engine: str = "batched",
 ) -> list[dict]:
-    """Sweep (n, α, x); one row per combination."""
+    """Sweep (n, α, x); one row per combination.
+
+    ``engine`` selects the query execution (the lockstep ``"batched"``
+    kernels by default, the per-vertex ``"scalar"`` oracle otherwise);
+    sweep rows are byte-identical either way — the probe loop is the
+    only thing that changes.
+    """
     rows = []
     for n in ns:
         for alpha in alphas:
             graph = union_of_random_forests(n, alpha, seed=seed + alpha)
             beta = max(2, math.ceil((2 + eps) * alpha))
             for x in xs:
-                lca = PartialPartitionLCA(graph, x=x, beta=beta)
+                lca = PartialPartitionLCA(graph, x=x, beta=beta, engine=engine)
                 merged, results = lca.query_all()
                 layered = [
                     v for v in graph.vertices() if merged.layer(v) != INFINITY

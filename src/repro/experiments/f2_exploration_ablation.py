@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from repro.graphs.generators import skewed_dependency_gadget
 from repro.lca.baselines import bfs_explore, dfs_explore, naive_coin_explore
-from repro.lca.coin_game import CoinDroppingGame
 from repro.lca.oracle import GraphOracle
+from repro.lca.partial_partition_lca import PartialPartitionLCA
 from repro.partition.dependency import dependency_set
 from repro.partition.induced import induced_beta_partition, natural_beta_partition
 
@@ -32,6 +32,7 @@ def run_exploration_ablation(
     chain_length: int = 4,
     fan: int = 30,
     decoy_fan: int = 40,
+    engine: str = "batched",
 ) -> list[dict]:
     """One row per strategy.
 
@@ -39,6 +40,11 @@ def run_exploration_ablation(
     but *outside* its dependency graph — the §2.1 structure that drowns
     BFS (its children all sit at distance 2) and swallows DFS (its id is
     the lowest among w_0's neighbors).
+
+    The adaptive game runs on the selected ``engine`` ("batched"
+    lockstep kernels by default, the per-vertex "scalar" oracle
+    otherwise — rows are byte-identical); the naive/BFS/DFS baselines
+    stay per-probe by design — they *are* the ablation.
     """
     graph, chain = skewed_dependency_gadget(beta, chain_length, fan, decoy_fan)
     root = chain[0]
@@ -47,8 +53,8 @@ def run_exploration_ablation(
     target = dependency_set(graph, natural, root)
     x = (beta + 1) ** chain_length  # deep enough to certify the chain head
 
-    adaptive_oracle = GraphOracle(graph)
-    adaptive = CoinDroppingGame(adaptive_oracle, root, x, beta).run()
+    lca = PartialPartitionLCA(graph, x=x, beta=beta, engine=engine)
+    adaptive = lca.query_all(vertices=[root])[1][root]
     budget = adaptive.queries
 
     runs: dict[str, set[int]] = {"adaptive_game": adaptive.explored}

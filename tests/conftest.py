@@ -13,10 +13,9 @@ Adds two execution knobs:
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from repro.ampc.pool import resolve_workers
 from repro.graphs.generators import (
     complete_graph,
     cycle_graph,
@@ -33,9 +32,10 @@ def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(
         "--workers",
         type=int,
-        default=int(os.environ.get("REPRO_WORKERS", "1") or "1"),
+        default=resolve_workers(None),
         help="worker processes the parallel-equivalence suite exercises "
-        "in addition to its built-in matrix (default: $REPRO_WORKERS or 1)",
+        "in addition to its built-in matrix (default: $REPRO_WORKERS, "
+        'which may be a count or "auto")',
     )
     parser.addoption(
         "--slow",

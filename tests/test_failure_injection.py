@@ -136,8 +136,12 @@ def fresh_pool_env():
 
 class TestWorkerPoolFaults:
     def _partition(self, workers):
+        # min_pool_games=1 forces dispatch: this round is smaller than
+        # the default threshold, and the faults only fire inside workers.
         g = random_gnm(120, 240, seed=13)
-        return beta_partition_ampc(g, 9, store="columnar", workers=workers)
+        return beta_partition_ampc(
+            g, 9, store="columnar", workers=workers, min_pool_games=1
+        )
 
     def test_worker_exception_surfaces_clearly(self, fresh_pool_env):
         os.environ[_FAULT_ENV] = "raise"

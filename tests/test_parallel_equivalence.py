@@ -1,15 +1,16 @@
-"""Differential harness: the parallel engine must be invisible.
+"""Differential harness: the parallel and batched engines must be invisible.
 
-``beta_partition_ampc`` exposes three execution knobs — ``store``
-(columnar kernels vs the dict-backed oracle), ``workers`` (process-pool
-machine sharding), and, implicitly, the cross-round game cache and the
-scaled-integer coin fast path.  None of them may change a single
-observable: partitions, layer values, round counts, per-round statistics
-(probe/write totals and maxima), and per-store word accounting must be
-bit-identical to the serial dict oracle for every combination.  These
-tests enforce that on randomized sparse graphs, on the Fraction
-deep-horizon fallback, and on the bigint escalation path of the integer
-coins.
+``beta_partition_ampc`` exposes four execution knobs — ``store``
+(columnar kernels vs the dict-backed oracle), ``engine`` (lockstep
+batched game kernels vs the per-game scalar interpreter), ``workers``
+(process-pool machine sharding), and, implicitly, the cross-round game
+cache and the scaled-integer coin fast path.  None of them may change a
+single observable: partitions, layer values, round counts, per-round
+statistics (probe/write totals and maxima), and per-store word
+accounting must be bit-identical to the serial dict oracle for every
+(store, engine, workers) combination.  These tests enforce that on
+randomized sparse graphs, on the Fraction deep-horizon fallback, and on
+the bigint escalation path of the integer coins.
 
 Small shapes run by default; the full-size shapes are marked ``slow``
 and opt in via ``--slow`` (CI's cron/label-gated job).  ``--workers``
@@ -64,16 +65,27 @@ def _assert_outcomes_equivalent(oracle, candidate):
 
 
 def _run_matrix(graph, beta, **kwargs):
-    """Run every (store, workers) combination against the dict oracle."""
+    """Run every (store, engine, workers) combination vs the dict oracle.
+
+    ``min_pool_games=1`` forces pool dispatch even on these tiny shapes,
+    so the worker legs genuinely exercise the sharded path.
+    """
     oracle = beta_partition_ampc(graph, beta, store="dict", workers=1, **kwargs)
-    for store in ("dict", "columnar"):
+    for store, engine in (
+        ("dict", None),
+        ("columnar", "batched"),
+        ("columnar", "scalar"),
+    ):
         for workers in WORKER_MATRIX:
             if store == "dict" and workers == 1:
                 continue
             candidate = beta_partition_ampc(
-                graph, beta, store=store, workers=workers, **kwargs
+                graph, beta, store=store, workers=workers, engine=engine,
+                min_pool_games=1, **kwargs
             )
             assert candidate.workers == workers
+            if engine is not None:
+                assert candidate.engine == engine
             _assert_outcomes_equivalent(oracle, candidate)
     return oracle
 
