@@ -28,11 +28,17 @@ Run as a script to (re)generate the tracked ``BENCH_ampc.json``::
         --phases --out BENCH_ampc.json
 
 or with ``--quick`` for a CI-sized configuration.  ``--phases`` records
-the lca rounds' per-phase wall clock (explore / forward / fold / cache).
+the lca rounds' per-phase wall clock (explore / forward / fold / cache)
+and the incremental-replay reuse counters (replayed/fresh waves and
+entries, redo games, cone fraction) land in the lca block either way.
 ``--check-regression BENCH_ampc.json`` compares the current run against
 the tracked baseline and fails (exit 2) if the lca columnar time
-regressed by more than 25% — normalized by the dict-oracle time of the
-same run, so the guard measures the code path, not the CI hardware.
+regressed by more than 25% or if any single phase regressed by more
+than 40% — both normalized by the dict-oracle time of the same run, so
+those guards measure the code path, not the CI hardware — or if pool
+dispatch at any swept worker count exceeds the *same run's* serial
+columnar time by more than its overhead budget (1.25x at workers=2; a
+within-run ratio, so it needs no baseline or normalization).
 """
 
 from __future__ import annotations
@@ -43,17 +49,34 @@ import sys
 import time
 
 from repro.ampc.pool import close_shared_pools
+from repro.core.batched_games import replay_cone_fraction
 from repro.core.beta_partition_ampc import beta_partition_ampc
 from repro.graphs.generators import random_gnm
 
 FULL_CONFIG = {"n": 100_000, "m": 200_000, "seed": 20260730, "beta": 9}
 QUICK_CONFIG = {"n": 8_000, "m": 16_000, "seed": 20260730, "beta": 9}
 FULL_WORKER_SWEEP = (1, 2, 4)
-QUICK_WORKER_SWEEP = (1, 2)
+# workers={2,4} ride in the quick sweep too (CI's REPRO_WORKERS matrix
+# leg), so a multi-worker pool regression cannot return silently.
+QUICK_WORKER_SWEEP = (1, 2, 4)
 
 # A quick-config lca run may regress this much against the tracked
 # baseline (after dict-normalization) before --check-regression fails.
 MAX_REGRESSION = 0.25
+# Any single lca phase (explore / forward / fold / cache) may regress
+# this much (dict-normalized) before the guard fails; phases below
+# MIN_PHASE_SHARE of the columnar total are noise and not guarded.
+MAX_PHASE_REGRESSION = 0.40
+MIN_PHASE_SHARE = 0.05
+# Pool dispatch on an oversubscribed host (CI runners, 1-core boxes) may
+# cost at most this factor over the serial columnar run before the
+# worker guard fails.  workers=2 is the acceptance bar (dispatch cost
+# must stay near-serial even with zero spare cores); higher counts get
+# headroom for pure time-slicing overhead on small hosts — the PR 4
+# regression pattern (time growing linearly with the worker count)
+# lands past both.
+MAX_WORKER_OVERHEAD = {"2": 1.25}
+MAX_WORKER_OVERHEAD_DEFAULT = 1.6
 
 
 def _time_run(graph, beta: int, mode: str, store: str, workers: int = 1,
@@ -143,6 +166,14 @@ def bench_mode(
         report["engine"] = columnar.engine
         report["columnar_scalar_s"] = round(scalar_s, 3)
         report["engine_speedup"] = round(scalar_s / columnar_s, 2)
+        # Incremental-replay reuse, summed over the run's lca rounds.
+        totals: dict = {}
+        for reuse in columnar.round_reuse:
+            for key, value in reuse.items():
+                if isinstance(value, int):
+                    totals[key] = totals.get(key, 0) + value
+        totals["cone_fraction"] = replay_cone_fraction(totals)
+        report["replay"] = totals
     if phase_times is not None:
         report["phases"] = {
             k: round(v, 3) for k, v in sorted(phase_times.items())
@@ -194,7 +225,12 @@ def check_regression(report: dict, baseline: dict) -> list[str]:
     Returns a list of failure messages (empty = within budget).  Times
     are normalized by the same run's dict-oracle wall clock before
     comparing, so the guard is about the columnar code path rather than
-    absolute CI hardware speed.
+    absolute CI hardware speed.  Besides the headline lca columnar time,
+    the guard covers the per-phase breakdown (a >40% dict-normalized
+    regression in any single phase fails even when the total hides it)
+    and the worker sweep (pool dispatch may not exceed the serial run by
+    more than :data:`MAX_WORKER_OVERHEAD` on any measured worker count —
+    the shape of the old per-worker-linear pool regression).
     """
     section = (
         "quick" if report["config"] == baseline.get("quick", {}).get("config")
@@ -209,15 +245,49 @@ def check_regression(report: dict, baseline: dict) -> list[str]:
             "no matching config in baseline: refresh the tracked JSON "
             "with this benchmark's --out (and --quick for the quick block)"
         ]
+    failures = []
     current_ratio = report["lca"]["columnar_s"] / report["lca"]["dict_s"]
     base_ratio = base["columnar_s"] / base["dict_s"]
     if current_ratio > base_ratio * (1 + MAX_REGRESSION):
-        return [
+        failures.append(
             f"lca columnar regressed: columnar/dict ratio {current_ratio:.4f} "
             f"vs baseline {base_ratio:.4f} "
             f"(>{MAX_REGRESSION:.0%} over budget)"
-        ]
-    return []
+        )
+    base_phases = base.get("phases") or {}
+    cur_phases = report["lca"].get("phases") or {}
+    for phase, base_s in base_phases.items():
+        if base_s < MIN_PHASE_SHARE * base["columnar_s"]:
+            continue  # too small to separate from noise
+        cur_s = cur_phases.get(phase)
+        if cur_s is None:
+            # A tracked phase that stopped being measured must fail
+            # loudly, not silently drop out of the guard.
+            failures.append(
+                f"lca phase '{phase}' is in the baseline but missing from "
+                "this run (run with --phases, or refresh the baseline)"
+            )
+            continue
+        cur_norm = cur_s / report["lca"]["dict_s"]
+        base_norm = base_s / base["dict_s"]
+        if cur_norm > base_norm * (1 + MAX_PHASE_REGRESSION):
+            failures.append(
+                f"lca phase '{phase}' regressed: dict-normalized "
+                f"{cur_norm:.4f} vs baseline {base_norm:.4f} "
+                f"(>{MAX_PHASE_REGRESSION:.0%} over budget)"
+            )
+    scaling = report["lca"].get("columnar_workers_s") or {}
+    serial_s = report["lca"]["columnar_s"]
+    for workers, sweep_s in scaling.items():
+        if workers == "1":
+            continue
+        limit = MAX_WORKER_OVERHEAD.get(workers, MAX_WORKER_OVERHEAD_DEFAULT)
+        if sweep_s > serial_s * limit:
+            failures.append(
+                f"pool dispatch at workers={workers} costs {sweep_s:.3f}s vs "
+                f"{serial_s:.3f}s serial (>{limit:.2f}x overhead budget)"
+            )
+    return failures
 
 
 def test_f4_ampc_runtime(benchmark, show_table):
@@ -281,13 +351,16 @@ def main() -> None:
         phases=args.phases, repeats=3 if args.quick else 1,
     )
     if args.quick_baseline and not args.quick:
-        quick = run(QUICK_CONFIG, check_equivalence=True, repeats=3)
+        quick = run(QUICK_CONFIG, check_equivalence=True, repeats=3, phases=True)
         report["quick"] = {
             "config": quick["config"],
             "lca": {
                 "columnar_s": quick["lca"]["columnar_s"],
                 "dict_s": quick["lca"]["dict_s"],
                 "speedup": quick["lca"]["speedup"],
+                # the per-phase regression guard compares CI quick runs
+                # against this breakdown
+                "phases": quick["lca"].get("phases", {}),
             },
         }
     text = json.dumps(report, indent=2)

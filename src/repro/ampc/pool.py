@@ -9,22 +9,32 @@ share *no* state and can run in any order — or simultaneously.  The
 simulator exploits exactly that freedom, nothing more:
 
 - **Sharding.**  The driver splits the round's machine ids into
-  contiguous shards (several per worker, so stragglers rebalance) and
-  submits each shard to a persistent :class:`~concurrent.futures.
-  ProcessPoolExecutor`.  Per-machine semantics are untouched — a shard
-  is a game-index slice of the round's fleet, run through the very same
-  engine the serial kernel runs (the lockstep struct-of-arrays kernels
-  of :mod:`repro.core.batched_games`, or
+  contiguous shards and submits each to a persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Under the batched
+  engine, whenever the fleet spans more than one whole cohort per
+  worker, shard boundaries fall on ``COHORT_GAMES`` multiples
+  (cohort-granular sharding): each worker runs the very same
+  cache-sized cohorts the serial kernel would run, instead of arbitrary
+  re-slices whose partial cohorts amortize the lockstep kernels worse;
+  smaller fleets fall back to evenly balanced slices, where keeping
+  every worker busy beats cohort alignment.  Per-machine semantics are
+  untouched — a shard is a game-index slice
+  of the round's fleet, run through the very same engine the serial
+  kernel runs (the lockstep struct-of-arrays kernels of
+  :mod:`repro.core.batched_games`, or
   :func:`~repro.core.columnar_rounds.play_coin_game` for the scalar
-  oracle).  Rounds smaller than :data:`MIN_POOL_GAMES` skip dispatch
-  entirely — at that size the pool's fixed cost exceeds the games.
-- **Shared read-only residual graph.**  The round's residual CSR
-  (offsets, targets) is published once per round through
-  :mod:`multiprocessing.shared_memory`; shard payloads carry only the
-  segment names, and workers attach, convert to flat adjacency lists
-  (cached until the next round's segments arrive), and close.  Nothing
-  is ever written to the shared segments, mirroring the model's
-  read-only D_{i-1}.
+  oracle).  Rounds smaller than :func:`min_pool_games_for`'s
+  engine-aware cutoff skip dispatch entirely — at that size the pool's
+  fixed cost exceeds the games.
+- **Shared read-only round state.**  The round's residual CSR
+  (offsets, targets) — plus, for the batched engine, the per-round CSR
+  transpose-position map its replay arenas patch through — is published
+  once per round through :mod:`multiprocessing.shared_memory`; shard
+  payloads carry only the segment names, and workers attach, copy
+  (cached until the next round's segments arrive), and close, so no
+  worker recomputes the per-round lexsort or adjacency conversion per
+  shard.  Nothing is ever written to the shared segments, mirroring the
+  model's read-only D_{i-1}.
 - **Accounting fold.**  A shard returns ``(reads, writes)`` arrays for
   its machines plus its layer-proposal deltas as sparse
   ``(vertices, minima, counts)`` triples and (optionally) replayable
@@ -80,12 +90,24 @@ _FAULT_ENV = "_REPRO_POOL_FAULT"
 # Rounds with fewer pending games than this run in-process even when a
 # pool is available: publishing the CSR, pickling shards, and collecting
 # futures costs on the order of a millisecond — more than this many
-# games cost under the batched engine — so small rounds (the long tail
+# games cost under the scalar engine — so small rounds (the long tail
 # of a multi-round partition, and everything on a 1-core host where
 # extra workers only add overhead) skip dispatch entirely.  Callers can
 # override per run via ``min_pool_games`` (tests pin it to 1 to force
 # dispatch on tiny differential shapes).
 MIN_POOL_GAMES = 256
+
+# The batched engine's per-game cost is an order of magnitude below the
+# scalar interpreter's, so pool dispatch amortizes only on much larger
+# rounds: below this many pending games the fixed dispatch cost (CSR +
+# transpose publication, worker attach, result pickles) exceeds what the
+# lockstep kernels spend playing them, and the round stays in-process.
+MIN_POOL_GAMES_BATCHED = 2048
+
+
+def min_pool_games_for(engine: str) -> int:
+    """Engine-aware dispatch-amortization threshold."""
+    return MIN_POOL_GAMES_BATCHED if engine == "batched" else MIN_POOL_GAMES
 
 
 class WorkerPoolError(RuntimeError):
@@ -144,6 +166,7 @@ class ShardResult(NamedTuple):
     fold_minima: np.ndarray  # min proposed layer per vertex
     fold_counts: np.ndarray  # number of proposals per vertex
     records: list | None  # game record tuple per machine when requested
+    replay_stats: dict | None = None  # incremental-replay counters (batched)
 
 
 # -- worker side -----------------------------------------------------------
@@ -189,8 +212,8 @@ def _load_csr(
     return csr
 
 
-def _load_adjacency(csr_meta: tuple[str, str, int, int]) -> list:
-    offsets, targets = _load_csr(*csr_meta)
+def _load_adjacency(csr_meta: tuple) -> list:
+    offsets, targets = _load_csr(*csr_meta[:4])
     if _CSR_CACHE["adj"] is None:
         from repro.core.columnar_rounds import residual_adjacency_lists
 
@@ -198,18 +221,35 @@ def _load_adjacency(csr_meta: tuple[str, str, int, int]) -> list:
     return _CSR_CACHE["adj"]
 
 
-def _load_transpose(csr_meta: tuple[str, str, int, int]):
-    """The round's CSR transpose-position map (per-round constant)."""
-    offsets, targets = _load_csr(*csr_meta)
-    if _CSR_CACHE["transpose"] is None:
-        from repro.core.batched_games import csr_transpose_positions
+def _load_transpose(csr_meta: tuple):
+    """The round's CSR transpose-position map (per-round constant).
 
-        _CSR_CACHE["transpose"] = csr_transpose_positions(offsets, targets)
+    The driver publishes the map through the round's shared-memory
+    segment set (it computes it once; without that every worker would
+    redo the same lexsort per round), so workers normally just attach
+    and copy; computing locally is the fallback for metas without one.
+    """
+    offsets, targets = _load_csr(*csr_meta[:4])
+    if _CSR_CACHE["transpose"] is None:
+        transpose_name = csr_meta[4] if len(csr_meta) > 4 else None
+        if transpose_name is not None:
+            shm, view = _attached_array(transpose_name, len(targets))
+            try:
+                _CSR_CACHE["transpose"] = view.copy()
+            finally:
+                del view
+                shm.close()
+        else:
+            from repro.core.batched_games import csr_transpose_positions
+
+            _CSR_CACHE["transpose"] = csr_transpose_positions(
+                offsets, targets
+            )
     return _CSR_CACHE["transpose"]
 
 
 def _play_shard(
-    csr_meta: tuple[str, str, int, int],
+    csr_meta: tuple,
     roots: np.ndarray,
     params: tuple[int, int, int, int, int | None, bool, str],
 ):
@@ -229,10 +269,11 @@ def _play_shard(
     if engine == "batched":
         from repro.core.columnar_rounds import run_games_batched_with_fallback
 
-        offsets, targets = _load_csr(*csr_meta)
+        offsets, targets = _load_csr(*csr_meta[:4])
         n = len(offsets) - 1
         out_layer_arr = np.full(n, float("inf"))
         out_count_arr = np.zeros(n, dtype=np.int64)
+        replay_stats: dict = {}
         with defer_full_gc():
             reads, writes, records = run_games_batched_with_fallback(
                 offsets, targets, roots,
@@ -240,6 +281,7 @@ def _play_shard(
                 out_layer=out_layer_arr, out_count=out_count_arr,
                 want_records=want_records,
                 transpose_pos=_load_transpose(csr_meta),
+                replay_stats=replay_stats,
             )
         fold_vertices = np.flatnonzero(out_count_arr)
         fold_minima = out_layer_arr[fold_vertices]
@@ -247,7 +289,8 @@ def _play_shard(
         if fault == "unpicklable":
             return lambda: None  # poisoned result: cannot cross the pipe
         return ShardResult(
-            reads, writes, fold_vertices, fold_minima, fold_counts, records
+            reads, writes, fold_vertices, fold_minima, fold_counts, records,
+            replay_stats,
         )
     from repro.core.columnar_rounds import play_coin_game
 
@@ -345,6 +388,8 @@ class CoinGamePool:
         scale: int | None,
         want_records: bool,
         engine: str = "scalar",
+        transpose_pos: np.ndarray | None = None,
+        cohort_games: int | None = None,
     ) -> list[tuple[np.ndarray, ShardResult]]:
         """Play the games rooted at ``roots`` across the worker fleet.
 
@@ -354,6 +399,18 @@ class CoinGamePool:
         fold layer deltas (both order-independent operations).
         ``engine`` selects the per-shard execution (lockstep ``"batched"``
         kernels or the one-game-at-a-time ``"scalar"`` interpreter).
+
+        ``cohort_games`` shards the fleet at cohort granularity when it
+        spans more than one whole cohort per worker: shard boundaries
+        fall on multiples of the engine's cohort size, so each worker
+        runs whole cache-sized cohorts — the same slices the serial
+        kernel runs — instead of arbitrary re-slices whose partial
+        cohorts amortize worse.  Smaller fleets use evenly balanced
+        slices instead (idle workers cost more than partial cohorts
+        there).  ``transpose_pos`` (batched engine) is published through
+        the round's shared-memory segment set alongside the CSR, so
+        every worker attaches instead of recomputing the per-round
+        lexsort.
         """
         if self.closed:
             raise WorkerPoolError("coin-game worker pool is closed")
@@ -362,17 +419,25 @@ class CoinGamePool:
         segments: list[SharedMemory] = []
         try:
             executor = self._ensure_executor()
-            csr_meta, segments = self._publish_csr(offsets, targets)
+            csr_meta, segments = self._publish_csr(
+                offsets, targets, transpose_pos
+            )
             params = (x, beta, clip, horizon, scale, want_records, engine)
-            num_shards = min(
+            max_shards = min(
                 len(roots), self.workers * self.chunks_per_worker
             )
+            if cohort_games and len(roots) > cohort_games * self.workers:
+                bounds = list(range(cohort_games, len(roots), cohort_games))
+                root_chunks = np.split(roots, bounds)
+                position_chunks = np.split(positions, bounds)
+            else:
+                root_chunks = np.array_split(roots, max_shards)
+                position_chunks = np.array_split(positions, max_shards)
             futures = {
                 executor.submit(_play_shard, csr_meta, root_chunk, params):
                     position_chunk
                 for root_chunk, position_chunk in zip(
-                    np.array_split(roots, num_shards),
-                    np.array_split(positions, num_shards),
+                    root_chunks, position_chunks
                 )
             }
             return [
@@ -397,19 +462,28 @@ class CoinGamePool:
 
     @staticmethod
     def _publish_csr(
-        offsets: np.ndarray, targets: np.ndarray
-    ) -> tuple[tuple[str, str, int, int], list[SharedMemory]]:
-        """Copy the residual CSR into shared read-only segments.
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        transpose_pos: np.ndarray | None = None,
+    ) -> tuple[tuple, list[SharedMemory]]:
+        """Copy the residual CSR (and replay arena maps) into shared
+        read-only segments.
 
-        Either both segments are returned (the caller owns their
-        cleanup) or none survive: a failure publishing the second array
-        unlinks the first before re-raising, so a /dev/shm-full round
-        cannot leak a named OS segment.
+        ``transpose_pos`` — the batched engine's per-round CSR
+        transpose-position map — rides along in its own segment so
+        worker shards replay against it without each recomputing the
+        per-round lexsort.  Either every segment is returned (the caller
+        owns their cleanup) or none survive: a failure publishing a
+        later array unlinks the earlier ones before re-raising, so a
+        /dev/shm-full round cannot leak a named OS segment.
         """
+        arrays = [offsets, targets]
+        if transpose_pos is not None:
+            arrays.append(transpose_pos)
         segments: list[SharedMemory] = []
         names = []
         try:
-            for array in (offsets, targets):
+            for array in arrays:
                 array = np.ascontiguousarray(array, dtype=np.int64)
                 shm = SharedMemory(create=True, size=max(1, array.nbytes))
                 segments.append(shm)
@@ -423,7 +497,10 @@ class CoinGamePool:
                 shm.close()
                 shm.unlink()
             raise
-        meta = (names[0], names[1], len(offsets), len(targets))
+        meta = (
+            names[0], names[1], len(offsets), len(targets),
+            names[2] if transpose_pos is not None else None,
+        )
         return meta, segments
 
     def close(self, cancel: bool = False) -> None:

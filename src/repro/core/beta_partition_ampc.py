@@ -48,6 +48,7 @@ import numpy as np
 from repro.ampc.machine import MachineContext
 from repro.ampc.pool import defer_full_gc, resolve_workers, shared_pool
 from repro.ampc.simulator import AMPCSimulator
+from repro.core.batched_games import replay_cone_fraction
 from repro.core.columnar_rounds import (
     GameCache,
     lca_round_kernel,
@@ -79,6 +80,12 @@ class BetaPartitionOutcome:
     workers: int = 1  # worker processes the lca rounds sharded across
     game_cache_hits: int = 0  # coin games replayed from the cross-round cache
     engine: str = "scalar"  # coin-game execution: "batched" or "scalar"
+    # Per-lca-round incremental-replay reuse (batched engine): each entry
+    # holds the round's replayed_waves / fresh_waves / replayed_entries /
+    # fresh_entries / redo_games / game_cache_hits counters plus the
+    # derived cone_fraction (fresh share of the delivery volume; lower =
+    # more wave reuse) — what the E1/F2 sweeps plot against graph shape.
+    round_reuse: list[dict] = field(default_factory=list)
 
     @property
     def num_layers(self) -> int:
@@ -189,7 +196,10 @@ def beta_partition_ampc(
         :class:`~repro.lca.coin_game.CoinDroppingGame`).
     min_pool_games:
         Rounds with fewer pending games than this run in-process even
-        when workers > 1 (None: :data:`repro.ampc.pool.MIN_POOL_GAMES`).
+        when workers > 1 (None: the engine-aware
+        :func:`repro.ampc.pool.min_pool_games_for` cutoff — the batched
+        kernels amortize pool dispatch only on much larger rounds than
+        the scalar interpreter).
     phases:
         Optional dict accumulating per-phase wall-clock seconds of the
         lca rounds (``explore`` / ``forward`` / ``fold`` / ``cache``;
@@ -332,6 +342,7 @@ def _run_columnar(
     alive = np.arange(graph.num_vertices, dtype=np.int64)
     layer_offset = 0
     unlayered_history: list[int] = []
+    round_reuse: list[dict] = []
     game_cache = GameCache() if mode == "lca" else None
 
     while alive.size:
@@ -347,9 +358,14 @@ def _run_columnar(
         if mode == "peel":
             kernel = partial(peel_round_kernel, beta=beta)
         else:
+            reuse = None
+            if engine == "batched":
+                reuse = {}
+                round_reuse.append(reuse)
             kernel = partial(
                 lca_round_kernel, beta=beta, x=x, pool=pool, cache=game_cache,
                 engine=engine, min_pool_games=min_pool_games, phases=phases,
+                reuse=reuse,
             )
         target = sim.round_vectorized(alive, kernel, reducer=min)
         assigned_vs, assigned_layers = target.layer_assignments()
@@ -368,6 +384,8 @@ def _run_columnar(
         if game_cache is not None:
             game_cache.evict(assigned_vs.tolist())
 
+    for reuse in round_reuse:
+        reuse["cone_fraction"] = replay_cone_fraction(reuse)
     partition = PartialBetaPartition(final_layers)
     return BetaPartitionOutcome(
         partition=partition,
@@ -380,6 +398,7 @@ def _run_columnar(
         workers=workers,
         game_cache_hits=game_cache.hits if game_cache is not None else 0,
         engine=engine,
+        round_reuse=round_reuse,
     )
 
 

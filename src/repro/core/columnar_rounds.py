@@ -63,7 +63,7 @@ from fractions import Fraction
 import numpy as np
 
 from repro.ampc.machine import BatchMachineContext
-from repro.ampc.pool import MIN_POOL_GAMES
+from repro.ampc.pool import min_pool_games_for
 from repro.core.batched_games import (
     csr_transpose_positions,
     play_games_batched,
@@ -155,13 +155,20 @@ class GameCache:
     residual adjacency list is unchanged between rounds iff u is still
     alive and its residual degree is unchanged (filtered CSR order is
     stable under deletions elsewhere).  A cached game is valid when that
-    holds for every member of its explored set.
+    holds for every member of its explored set — equivalently, when the
+    round's *invalidation cone* (the vertices whose residual row changed:
+    everything assigned last round plus its still-alive neighbors) does
+    not intersect the record's explored ball.  :meth:`lookup_all`
+    evaluates that cone test for the whole fleet in one vectorized sweep
+    over the concatenated member arenas of the candidate records — the
+    arena payload each record carries since the engines produce them —
+    instead of a per-member Python scan per machine.
 
     Records do not snapshot degrees themselves.  Every live record is
     either looked up or evicted in every round (its root is alive or
     assigned), and an invalid record is dropped on sight — so validating
     "this round's degrees == last round's degrees on S_v" against one
-    shared per-round list (:meth:`advance`) chains transitively back to
+    shared per-round view (:meth:`advance`) chains transitively back to
     the game-time view.
 
     The cache arms itself only after the first round: round-1 records
@@ -173,7 +180,9 @@ class GameCache:
 
     def __init__(self) -> None:
         self._records: dict[int, tuple] = {}
-        self._prev_degrees: list[int] | None = None
+        self._member_arenas: dict[int, np.ndarray] = {}
+        self._proof_arrays: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._prev_degrees = None
         self.armed = False  # becomes True after the first lca round
         self.hits = 0
         self.misses = 0
@@ -181,21 +190,27 @@ class GameCache:
     def __len__(self) -> int:
         return len(self._records)
 
+    def _drop(self, root: int) -> None:
+        del self._records[root]
+        self._member_arenas.pop(root, None)
+        self._proof_arrays.pop(root, None)
+
     def lookup(
         self, root: int, alive_flags: list[bool], degrees: list[int]
     ) -> tuple | None:
         """The valid record for ``root``, or None (stale records drop).
 
-        ``alive_flags``/``degrees`` are plain-list views over the vertex
-        universe: records hold a few dozen members, so an early-exit
-        Python scan beats array round-trips at this size.
+        Scalar counterpart of :meth:`lookup_all` (kept for single-probe
+        callers and as executable documentation of the validity rule):
+        ``alive_flags``/``degrees`` are indexable views over the vertex
+        universe, scanned with early exit per member.
         """
         record = self._records.get(root)
         if record is not None:
             previous = self._prev_degrees
             for u in record[0]:
                 if not alive_flags[u] or degrees[u] != previous[u]:
-                    del self._records[root]
+                    self._drop(root)
                     break
             else:
                 self.hits += 1
@@ -203,18 +218,100 @@ class GameCache:
         self.misses += 1
         return None
 
-    def advance(self, degrees: list[int]) -> None:
+    def lookup_all(
+        self,
+        roots: np.ndarray,
+        degrees: np.ndarray,
+        alive_mask: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cone-aware batch validation of every record rooted in ``roots``.
+
+        Builds the round's dirty set (vertices dead or with a changed
+        residual degree since :meth:`advance`), intersects it with each
+        candidate record's member arena in one ``reduceat`` sweep, drops
+        the stale records, and returns the surviving replays as arrays:
+        ``(positions into roots, reads, writes, proof vertices, proof
+        layers)`` with the proof entries concatenated in position order
+        (ready for one min/+ scatter fold).
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if not len(self._records):
+            self.misses += len(roots)
+            return empty, empty, empty, empty, empty
+        prev = np.asarray(self._prev_degrees)
+        dirty = np.asarray(degrees) != prev
+        dirty |= ~alive_mask
+        positions: list[int] = []
+        cand_roots: list[int] = []
+        arenas: list[np.ndarray] = []
+        records = self._records
+        arenas_by_root = self._member_arenas
+        for i, v in enumerate(roots.tolist()):
+            if v in records:
+                positions.append(i)
+                cand_roots.append(v)
+                arenas.append(arenas_by_root[v])
+        self.misses += len(roots) - len(positions)
+        if not positions:
+            return empty, empty, empty, empty, empty
+        lengths = np.fromiter(
+            (len(a) for a in arenas), dtype=np.int64, count=len(arenas)
+        )
+        bounds = np.cumsum(lengths) - lengths
+        stale_counts = np.add.reduceat(
+            dirty[np.concatenate(arenas)], bounds
+        )
+        valid = stale_counts == 0
+        self.hits += int(valid.sum())
+        self.misses += len(positions) - int(valid.sum())
+        proof_u: list[np.ndarray] = []
+        proof_l: list[np.ndarray] = []
+        reads: list[int] = []
+        writes: list[int] = []
+        hit_positions: list[int] = []
+        for ok, i, v in zip(valid.tolist(), positions, cand_roots):
+            if not ok:
+                self._drop(v)
+                continue
+            record = records[v]
+            hit_positions.append(i)
+            reads.append(record[2])
+            writes.append(record[3])
+            pu, pl = self._proof_arrays[v]
+            proof_u.append(pu)
+            proof_l.append(pl)
+        if not hit_positions:
+            return empty, empty, empty, empty, empty
+        return (
+            np.asarray(hit_positions, dtype=np.int64),
+            np.asarray(reads, dtype=np.int64),
+            np.asarray(writes, dtype=np.int64),
+            np.concatenate(proof_u) if proof_u else empty,
+            np.concatenate(proof_l) if proof_l else empty,
+        )
+
+    def advance(self, degrees) -> None:
         """Install this round's degree view (next round validates against it)."""
         self._prev_degrees = degrees
 
     def store(self, root: int, record: tuple) -> None:
         self._records[root] = record
+        self._member_arenas[root] = np.asarray(record[0], dtype=np.int64)
+        proof = record[1]
+        self._proof_arrays[root] = (
+            np.fromiter(
+                (u for u, __ in proof), dtype=np.int64, count=len(proof)
+            ),
+            np.fromiter(
+                (lay for __, lay in proof), dtype=np.int64, count=len(proof)
+            ),
+        )
 
     def evict(self, vertices) -> None:
         """Drop records rooted at assigned (now dead) vertices."""
-        pop = self._records.pop
         for v in vertices:
-            pop(v, None)
+            if v in self._records:
+                self._drop(v)
 
 
 def peel_round_kernel(batch: BatchMachineContext, beta: int) -> None:
@@ -272,6 +369,7 @@ def run_games_batched_with_fallback(
     want_records: bool,
     phases: dict | None = None,
     transpose_pos: np.ndarray | None = None,
+    replay_stats: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray, list | None]:
     """The lockstep engine plus its per-game scalar escape hatch.
 
@@ -297,6 +395,7 @@ def run_games_batched_with_fallback(
     ejected: list[int] = []
     if transpose_pos is None:
         transpose_pos = csr_transpose_positions(offsets, targets)
+    arena_hint = [0, 0]
     for start in range(0, num_games, block):
         stop = min(start + block, num_games)
         info = play_games_batched(
@@ -304,7 +403,8 @@ def run_games_batched_with_fallback(
             x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
             out_layer=out_layer, out_count=out_count,
             want_records=want_records, phases=phases,
-            transpose_pos=transpose_pos,
+            transpose_pos=transpose_pos, arena_hint=arena_hint,
+            replay_stats=replay_stats,
         )
         all_reads[start:stop] = info.reads
         all_writes[start:stop] = info.writes
@@ -334,6 +434,7 @@ def lca_round_kernel(
     engine: str = "batched",
     min_pool_games: int | None = None,
     phases: dict | None = None,
+    reuse: dict | None = None,
 ) -> None:
     """One LCA round: every alive machine plays the coin game.
 
@@ -349,11 +450,19 @@ def lca_round_kernel(
     :class:`GameCache`) replays memoized games whose explored view is
     unchanged since the previous round; ``pool`` (a
     :class:`repro.ampc.pool.CoinGamePool`) shards the remaining fleet
-    across worker processes — unless the round has fewer than
-    ``min_pool_games`` games left, where dispatch overhead would exceed
-    the games themselves and the round runs in-process.  All layers fold
-    through the same min/+ accumulators, so partitions, per-round stats,
-    and word counts are identical for every knob combination.
+    across worker processes at cohort granularity — unless the round has
+    fewer than ``min_pool_games`` games left (None: the engine-aware
+    :func:`repro.ampc.pool.min_pool_games_for` cutoff — the batched
+    kernels amortize dispatch only on much larger rounds than the
+    scalar interpreter), where dispatch overhead would exceed the games
+    themselves and the round runs in-process.  All layers fold through
+    the same min/+ accumulators, so partitions, per-round stats, and
+    word counts are identical for every knob combination.
+
+    ``reuse``, when given, accumulates the round's incremental-replay
+    counters (``replayed_waves`` / ``fresh_waves`` / ``replayed_entries``
+    / ``fresh_entries`` / ``redo_games``, plus ``game_cache_hits`` for
+    memoized cross-round replays) — from worker shards too.
 
     ``phases``, when given, accumulates per-phase wall-clock seconds
     (``explore`` / ``forward`` / ``fold`` from the batched engine plus
@@ -370,46 +479,48 @@ def lca_round_kernel(
     scale = fixed_coin_scale(beta, horizon)
     want_records = cache is not None and cache.armed
     if min_pool_games is None:
-        min_pool_games = MIN_POOL_GAMES
+        min_pool_games = min_pool_games_for(engine)
     alive_list = alive.tolist()
     clock = time.perf_counter if phases is not None else None
     if phases is not None:
         for key in ("cache", "explore", "forward", "fold"):
             phases.setdefault(key, 0.0)
+    replay_stats: dict | None = reuse if reuse is not None else None
+    if replay_stats is not None:
+        for key in (
+            "replayed_waves", "fresh_waves", "replayed_entries",
+            "fresh_entries", "redo_games",
+        ):
+            replay_stats.setdefault(key, 0)
 
-    # Replayed proofs are collected first and folded in bulk below, so
+    # Memoized proofs are collected first and folded in bulk below, so
     # both engines share one fold path.
-    pending: list[int] = []
-    replay_entries: list[tuple[int, int]] = []
+    pending: list[int] | np.ndarray
+    rep_u = rep_lay = None
     t0 = clock() if clock else 0.0
     if want_records and len(cache):
-        degrees = np.diff(offsets).tolist()
-        alive_flags = [False] * n
-        for v in alive_list:
-            alive_flags[v] = True
-        replayed: list[int] = []
-        replay_reads: list[int] = []
-        replay_writes: list[int] = []
-        for i, v in enumerate(alive_list):
-            record = cache.lookup(v, alive_flags, degrees)
-            if record is None:
-                pending.append(i)
-                continue
-            replay_entries.extend(record[1])
-            replayed.append(i)
-            replay_reads.append(record[2])
-            replay_writes.append(record[3])
-        if replayed:
-            batch.account_at(
-                np.asarray(replayed, dtype=np.int64),
-                np.asarray(replay_reads, dtype=np.int64),
-                np.asarray(replay_writes, dtype=np.int64),
-            )
+        degrees = np.diff(offsets)
+        alive_mask = np.zeros(n, dtype=bool)
+        alive_mask[alive] = True
+        hit_pos, hit_reads, hit_writes, rep_u, rep_lay = cache.lookup_all(
+            alive, degrees, alive_mask
+        )
+        if hit_pos.size:
+            batch.account_at(hit_pos, hit_reads, hit_writes)
+            hit_mask = np.zeros(len(alive_list), dtype=bool)
+            hit_mask[hit_pos] = True
+            pending = np.flatnonzero(~hit_mask).tolist()
+        else:
+            pending = list(range(len(alive_list)))
         cache.advance(degrees)
+        if replay_stats is not None:
+            replay_stats["game_cache_hits"] = (
+                replay_stats.get("game_cache_hits", 0) + int(hit_pos.size)
+            )
     else:
         pending = list(range(len(alive_list)))
         if want_records:
-            cache.advance(np.diff(offsets).tolist())
+            cache.advance(np.diff(offsets))
         elif cache is not None:
             cache.armed = True  # record from the next round onward
     if clock:
@@ -419,27 +530,23 @@ def lca_round_kernel(
     if batched:
         out_layer: object = np.full(n, _INF)
         out_count: object = np.zeros(n, dtype=np.int64)
-        if replay_entries:
-            rep_u = np.fromiter(
-                (u for u, __ in replay_entries), dtype=np.int64,
-                count=len(replay_entries),
-            )
-            rep_lay = np.fromiter(
-                (lay for __, lay in replay_entries), dtype=np.int64,
-                count=len(replay_entries),
-            )
+        if rep_u is not None and rep_u.size:
             np.minimum.at(out_layer, rep_u, rep_lay)
             np.add.at(out_count, rep_u, 1)
     else:
         out_layer = [_INF] * n
         out_count = [0] * n
-        for u, lay in replay_entries:
-            if lay < out_layer[u]:
-                out_layer[u] = lay
-            out_count[u] += 1
+        if rep_u is not None:
+            for u, lay in zip(rep_u.tolist(), rep_lay.tolist()):
+                if lay < out_layer[u]:
+                    out_layer[u] = lay
+                out_count[u] += 1
 
     if pending and pool is not None and len(pending) >= min_pool_games:
         positions = np.asarray(pending, dtype=np.int64)
+        transpose_pos = (
+            csr_transpose_positions(offsets, targets) if batched else None
+        )
         shards = pool.run_games(
             offsets,
             targets,
@@ -452,6 +559,8 @@ def lca_round_kernel(
             scale=scale,
             want_records=want_records,
             engine=engine,
+            transpose_pos=transpose_pos,
+            cohort_games=COHORT_GAMES if batched else None,
         )
         for shard_positions, shard in shards:
             if batched:
@@ -467,6 +576,9 @@ def lca_round_kernel(
                         out_layer[u] = minimum
                     out_count[u] += count
             batch.account_at(shard_positions, shard.reads, shard.writes)
+            if replay_stats is not None and shard.replay_stats:
+                for key, value in shard.replay_stats.items():
+                    replay_stats[key] = replay_stats.get(key, 0) + value
             if want_records:
                 for i, record in zip(shard_positions.tolist(), shard.records):
                     cache.store(alive_list[i], record)
@@ -477,6 +589,7 @@ def lca_round_kernel(
             x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
             out_layer=out_layer, out_count=out_count,
             want_records=want_records, phases=phases,
+            replay_stats=replay_stats,
         )
         batch.account_at(positions, reads, writes)
         if want_records:

@@ -7,7 +7,9 @@ patches, cohort blocking, the coin-scale escape hatch (ejection), the
 huge-β escalation fallback, the batched ``query_all`` port the E1/F2
 sweeps run on, and :class:`~repro.core.columnar_rounds.GameCache`
 behavior under the batched engine (degree-snapshot staleness, replay
-parity, eviction).
+parity, eviction).  All of them exercise the incremental-replay arena
+implicitly (it is on by default); its dedicated cone-invalidation
+coverage lives in ``tests/test_incremental_replay.py``.
 """
 
 from __future__ import annotations
