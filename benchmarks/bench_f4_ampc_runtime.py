@@ -39,12 +39,32 @@ those guards measure the code path, not the CI hardware — or if pool
 dispatch at any swept worker count exceeds the *same run's* serial
 columnar time by more than its overhead budget (1.25x at workers=2; a
 within-run ratio, so it needs no baseline or normalization).
+
+The lca block also times one ``transport="message"`` leg (the
+PR 6 sharded fabric at :data:`MESSAGE_SHARDS` shards) and records its
+communication/memory counters — messages, words, sub-rounds, max
+per-shard words, and the peak *real* held-row words — next to a
+configured per-shard S budget (:data:`MESSAGE_HELD_BUDGET_FACTOR` x
+the graph's CSR words).  The leg asserts the sharded partition equals
+the shared-memory one, and ``--check-regression`` additionally fails
+when the measured max per-shard held words exceeds that budget: the
+counters are deterministic for a fixed config, so this guard needs no
+baseline or hardware normalization either.
+
+``--guard-worker-monotone`` turns the worker sweep into a scaling
+guard for multi-core runners: each successive swept worker count must
+not run slower than the previous one by more than
+:data:`MONOTONE_SLACK`.  Sweep points asking for more workers than the
+host has cores are waived with a logged notice (in particular the
+whole guard soft-fails on a 1-core runner), so the flag is safe to set
+unconditionally in CI.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -77,14 +97,26 @@ MIN_PHASE_SHARE = 0.05
 # lands past both.
 MAX_WORKER_OVERHEAD = {"2": 1.25}
 MAX_WORKER_OVERHEAD_DEFAULT = 1.6
+# The message-transport leg: shard count, and the per-shard S budget
+# for *held* residual rows (owned slice + pinned ghost fringe), as a
+# multiple of the graph's full CSR words.  Deep default-x balls pin
+# wide ghost fringes, so the per-shard held peak can exceed one CSR
+# copy (~3.5x on the quick config); 4.5x gives the guard headroom
+# without letting the fringe grow unbounded.
+MESSAGE_SHARDS = 4
+MESSAGE_HELD_BUDGET_FACTOR = 4.5
+# Each swept worker count may be at most this factor slower than the
+# previous one before --guard-worker-monotone fails (non-increasing
+# up to timing noise and pool dispatch overhead).
+MONOTONE_SLACK = 1.25
 
 
 def _time_run(graph, beta: int, mode: str, store: str, workers: int = 1,
-              engine=None, phases=None):
+              engine=None, phases=None, **kwargs):
     start = time.perf_counter()
     outcome = beta_partition_ampc(
         graph, beta, mode=mode, store=store, workers=workers, engine=engine,
-        phases=phases,
+        phases=phases, **kwargs,
     )
     elapsed = time.perf_counter() - start
     return elapsed, outcome
@@ -174,6 +206,33 @@ def bench_mode(
                     totals[key] = totals.get(key, 0) + value
         totals["cone_fraction"] = replay_cone_fraction(totals)
         report["replay"] = totals
+    if mode == "lca":
+        # One sharded-fabric leg: same partition, plus the communication
+        # and memory counters the S-budget regression guard reads.  The
+        # counters are deterministic for a fixed config; only message_s
+        # is hardware-dependent.
+        csr_words = (graph.num_vertices + 1) + 2 * graph.num_edges
+        message_s, sharded = _time_run(
+            graph, beta, mode, "columnar",
+            transport="message", shards=MESSAGE_SHARDS,
+        )
+        assert sharded.partition.layers == columnar.partition.layers
+        comm_totals: dict = {}
+        for comm in sharded.round_comm:
+            for key in ("messages", "words", "subrounds",
+                        "row_requests", "rows_served"):
+                comm_totals[key] = comm_totals.get(key, 0) + comm.get(key, 0)
+        report["message"] = {
+            "shards": sharded.shards,
+            "message_s": round(message_s, 3),
+            "budget_words": int(MESSAGE_HELD_BUDGET_FACTOR * csr_words),
+            "max_held_words": sharded.max_held_words,
+            "max_shard_words": max(
+                (c.get("max_shard_words", 0) for c in sharded.round_comm),
+                default=0,
+            ),
+            **comm_totals,
+        }
     if phase_times is not None:
         report["phases"] = {
             k: round(v, 3) for k, v in sorted(phase_times.items())
@@ -230,7 +289,11 @@ def check_regression(report: dict, baseline: dict) -> list[str]:
     regression in any single phase fails even when the total hides it)
     and the worker sweep (pool dispatch may not exceed the serial run by
     more than :data:`MAX_WORKER_OVERHEAD` on any measured worker count —
-    the shape of the old per-worker-linear pool regression).
+    the shape of the old per-worker-linear pool regression).  The
+    message-transport leg is guarded within-run: its max per-shard held
+    words must stay inside the configured S budget (deterministic
+    counters, so no baseline normalization applies), and the leg may
+    not silently drop out while the baseline still tracks it.
     """
     section = (
         "quick" if report["config"] == baseline.get("quick", {}).get("config")
@@ -287,7 +350,58 @@ def check_regression(report: dict, baseline: dict) -> list[str]:
                 f"pool dispatch at workers={workers} costs {sweep_s:.3f}s vs "
                 f"{serial_s:.3f}s serial (>{limit:.2f}x overhead budget)"
             )
+    message = report["lca"].get("message") or {}
+    if base.get("message") and not message:
+        # Same spirit as the phase drop-out check: a tracked leg that
+        # silently stops being measured must fail, not slip the guard.
+        failures.append(
+            "lca message-transport leg is in the baseline but missing "
+            "from this run (refresh the baseline if it was removed)"
+        )
+    budget = message.get("budget_words")
+    if budget and message.get("max_held_words", 0) > budget:
+        failures.append(
+            f"message fabric exceeded its S budget: max per-shard held "
+            f"words {message['max_held_words']} > {budget} "
+            f"(shards={message.get('shards')}; a within-run check — the "
+            "ghost fringe or owned-slice residency grew)"
+        )
     return failures
+
+
+def guard_worker_monotone(report: dict) -> tuple[list[str], list[str]]:
+    """Monotone non-increasing worker sweep, waived per-point by cores.
+
+    Returns ``(failures, waivers)``.  Each swept worker count must not
+    be slower than its predecessor by more than :data:`MONOTONE_SLACK`.
+    Points asking for more workers than the host has cores — and the
+    whole guard on a 1-core host — are waived with a logged notice
+    instead of failing, so CI can set the flag unconditionally.
+    """
+    scaling = report["lca"].get("columnar_workers_s") or {}
+    cores = os.cpu_count() or 1
+    failures: list[str] = []
+    waivers: list[str] = []
+    if cores < 2:
+        waivers.append(
+            f"runner has {cores} core(s): worker-monotone guard waived"
+        )
+        return failures, waivers
+    points = sorted((int(w), s) for w, s in scaling.items())
+    for (prev_w, prev_s), (cur_w, cur_s) in zip(points, points[1:]):
+        if cur_w > cores:
+            waivers.append(
+                f"workers={cur_w} exceeds the runner's {cores} cores: "
+                "sweep point waived"
+            )
+            continue
+        if cur_s > prev_s * MONOTONE_SLACK:
+            failures.append(
+                f"worker sweep not monotone: workers={cur_w} took "
+                f"{cur_s:.3f}s vs {prev_s:.3f}s at workers={prev_w} "
+                f"(>{MONOTONE_SLACK:.2f}x slack)"
+            )
+    return failures, waivers
 
 
 def test_f4_ampc_runtime(benchmark, show_table):
@@ -314,6 +428,9 @@ def test_f4_ampc_runtime(benchmark, show_table):
     assert report["lca"]["speedup"] >= 1.5
     assert report["peel"]["speedup"] >= 3.0
     assert set(report["lca"]["phases"]) >= {"explore", "forward", "fold"}
+    message = report["lca"]["message"]
+    assert message["max_held_words"] <= message["budget_words"]
+    assert message["messages"] > 0 and message["shards"] == MESSAGE_SHARDS
 
 
 def main() -> None:
@@ -337,7 +454,14 @@ def main() -> None:
     parser.add_argument(
         "--check-regression", default=None, metavar="BASELINE",
         help="compare against this tracked JSON; exit 2 if the lca "
-        f"columnar time regressed >{MAX_REGRESSION:.0%} (dict-normalized)",
+        f"columnar time regressed >{MAX_REGRESSION:.0%} (dict-normalized) "
+        "or the message fabric exceeded its per-shard S budget",
+    )
+    parser.add_argument(
+        "--guard-worker-monotone", action="store_true",
+        help="exit 2 unless the worker sweep is monotone non-increasing "
+        f"(up to {MONOTONE_SLACK:.2f}x slack); sweep points beyond the "
+        "host's core count are waived with a logged notice",
     )
     args = parser.parse_args()
     if args.quick:
@@ -361,6 +485,9 @@ def main() -> None:
                 # the per-phase regression guard compares CI quick runs
                 # against this breakdown
                 "phases": quick["lca"].get("phases", {}),
+                # tracked so the quick guard notices the message leg
+                # dropping out, and for counter-drift eyeballing
+                "message": quick["lca"].get("message", {}),
             },
         }
     text = json.dumps(report, indent=2)
@@ -368,14 +495,23 @@ def main() -> None:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
+    failed = False
     if args.check_regression:
         with open(args.check_regression) as handle:
             baseline = json.load(handle)
         failures = check_regression(report, baseline)
         for message in failures:
             print(f"REGRESSION: {message}", file=sys.stderr)
-        if failures:
-            raise SystemExit(2)
+        failed = failed or bool(failures)
+    if args.guard_worker_monotone:
+        failures, waivers = guard_worker_monotone(report)
+        for notice in waivers:
+            print(f"WAIVER: {notice}", file=sys.stderr)
+        for message in failures:
+            print(f"MONOTONE: {message}", file=sys.stderr)
+        failed = failed or bool(failures)
+    if failed:
+        raise SystemExit(2)
 
 
 if __name__ == "__main__":

@@ -3,7 +3,14 @@
 from repro.ampc.columnar import ColumnStore
 from repro.ampc.cost import ExecutionStats, RoundStats
 from repro.ampc.dds import EMPTY, DataStore
+from repro.ampc.engine_config import EngineConfig
 from repro.ampc.machine import BatchMachineContext, MachineContext, SpaceExceeded
+from repro.ampc.messaging import (
+    MemoryGuard,
+    MemoryGuardError,
+    MessageFabric,
+    owner_of,
+)
 from repro.ampc.mpc import MPCSimulator
 from repro.ampc.pool import (
     CoinGamePool,
@@ -22,15 +29,20 @@ __all__ = [
     "ColumnStore",
     "DataStore",
     "EMPTY",
+    "EngineConfig",
     "ExecutionStats",
     "MPCSimulator",
     "MachineContext",
+    "MemoryGuard",
+    "MemoryGuardError",
+    "MessageFabric",
     "RoundStats",
     "SortCostReport",
     "SpaceExceeded",
     "WorkerPoolError",
     "broadcast_tree_sort",
     "close_shared_pools",
+    "owner_of",
     "resolve_workers",
     "shared_pool",
 ]

@@ -351,6 +351,26 @@ class ColumnStore:
         words += sum(len(values) for values in self._extra.values())
         return words
 
+    def held_words(self) -> int:
+        """Real words the backing arrays hold (array lengths, not pairs).
+
+        ``total_words`` counts logical key-value pairs — the model's
+        space unit and the quantity the dict oracle matches bit for bit.
+        This counts what is genuinely resident: the CSR offset array,
+        the degree/presence columns, and the dense layer/count columns,
+        whatever their logical occupancy.  Strict-budget parity audits
+        check S against this, not the flattering logical count.
+        """
+        words = 0
+        for column in (
+            self._deg, self._has_deg, self._adj_offsets, self._adj_targets,
+            self._layer, self._layer_count,
+        ):
+            if column is not None:
+                words += int(len(column))
+        words += sum(len(values) for values in self._extra.values())
+        return words
+
 
 def _as_layer(value: float) -> float | int:
     """Layers are stored float-side; surface integral values as ints."""

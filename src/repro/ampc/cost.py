@@ -26,6 +26,11 @@ class RoundStats:
     total_reads: int = 0
     total_writes: int = 0
     store_words: int = 0  # words in the store written this round
+    # Real words the store's backing arrays hold (array lengths, not the
+    # logical pair count) — what a machine would genuinely have resident.
+    # Equal to store_words on the dict oracle; the columnar store's typed
+    # columns add offset/presence arrays on top of the logical pairs.
+    dds_held_words: int = 0
 
     @property
     def max_communication(self) -> int:
@@ -34,7 +39,8 @@ class RoundStats:
 
     @classmethod
     def from_machine_counts(
-        cls, round_index: int, reads, writes, store_words: int
+        cls, round_index: int, reads, writes, store_words: int,
+        dds_held_words: int = 0,
     ) -> "RoundStats":
         """Aggregate per-machine count arrays into one round's stats.
 
@@ -50,6 +56,7 @@ class RoundStats:
             total_reads=int(reads.sum()),
             total_writes=int(writes.sum()),
             store_words=store_words,
+            dds_held_words=dds_held_words,
         )
 
 

@@ -94,3 +94,12 @@ class DataStore:
     def total_words(self) -> int:
         """Total stored key-value pairs (the model's space unit)."""
         return len(self)
+
+    def held_words(self) -> int:
+        """Real words held: for dict-of-lists, the logical pair count.
+
+        The columnar store's :meth:`~repro.ampc.columnar.ColumnStore.held_words`
+        counts its backing-array lengths instead; strict-budget parity
+        audits compare both against the per-machine S budget.
+        """
+        return len(self)

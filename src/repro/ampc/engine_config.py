@@ -1,0 +1,98 @@
+"""Tunable engine knobs as one explicit, env-overridable configuration.
+
+The scenario sweeps in ROADMAP want to tune dispatch cutoffs, cohort
+sizes, and the adaptive-replay gate without editing source.  The knobs
+keep living as module constants next to the code they tune
+(:data:`repro.core.columnar_rounds.COHORT_GAMES`,
+:data:`repro.ampc.pool.MIN_POOL_GAMES` /
+:data:`~repro.ampc.pool.MIN_POOL_GAMES_BATCHED`,
+:data:`repro.core.batched_games.REPLAY_CONE_CUTOFF` /
+:data:`~repro.core.batched_games.REPLAY_POOR_STREAK`) — tests monkeypatch
+them there, and they document themselves in context — but every run of
+:func:`repro.core.beta_partition_ampc.beta_partition_ampc` snapshots
+them into one frozen :class:`EngineConfig` via :meth:`EngineConfig.from_env`,
+applying ``REPRO_*`` environment overrides on top.  The config then
+threads explicitly through the round kernel, the process pool (one
+picklable value per shard payload), the batched engine, and the message
+fabric, so every layer of one run agrees on the same knob values.
+
+All knobs are pure throughput/memory-policy levers: no observable
+(partitions, probe counts, store words) depends on any of them, which
+is exactly why an environment override is safe.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One run's engine knobs (see module docstring for the defaults).
+
+    ``message_cap_words`` and ``shard_budget_words`` configure the
+    message-passing fabric (:mod:`repro.ampc.messaging`): the maximum
+    payload of one delivery segment, and the per-shard S budget every
+    held array is accounted against (None: account but never raise).
+    """
+
+    cohort_games: int
+    min_pool_games: int
+    min_pool_games_batched: int
+    replay_cone_cutoff: float
+    replay_poor_streak: int
+    message_cap_words: int
+    shard_budget_words: int | None = None
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "EngineConfig":
+        """Snapshot the module-constant defaults with ``REPRO_*`` overrides.
+
+        Defaults are read from the owning modules *at call time*, so a
+        test that monkeypatches e.g. ``columnar_rounds.COHORT_GAMES``
+        before running a partition sees its patch honored here.
+        """
+        # Imported lazily: repro.core imports repro.ampc, so a top-level
+        # import back into core would be cyclic.
+        from repro.ampc import messaging, pool
+        from repro.core import batched_games, columnar_rounds
+
+        if env is None:
+            env = os.environ
+
+        def get(name: str, default, cast):
+            raw = env.get(name, "").strip()
+            return cast(raw) if raw else default
+
+        return cls(
+            cohort_games=get(
+                "REPRO_COHORT_GAMES", columnar_rounds.COHORT_GAMES, int
+            ),
+            min_pool_games=get(
+                "REPRO_MIN_POOL_GAMES", pool.MIN_POOL_GAMES, int
+            ),
+            min_pool_games_batched=get(
+                "REPRO_MIN_POOL_GAMES_BATCHED", pool.MIN_POOL_GAMES_BATCHED,
+                int,
+            ),
+            replay_cone_cutoff=get(
+                "REPRO_REPLAY_CONE_CUTOFF", batched_games.REPLAY_CONE_CUTOFF,
+                float,
+            ),
+            replay_poor_streak=get(
+                "REPRO_REPLAY_POOR_STREAK", batched_games.REPLAY_POOR_STREAK,
+                int,
+            ),
+            message_cap_words=get(
+                "REPRO_MESSAGE_CAP_WORDS", messaging.MESSAGE_CAP_WORDS, int
+            ),
+            shard_budget_words=get("REPRO_SHARD_BUDGET_WORDS", None, int),
+        )
+
+    def with_overrides(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (convenience for call sites)."""
+        return replace(self, **changes)

@@ -1,0 +1,905 @@
+"""Message-passing shard fabric — owner-hashed partitions, bounded deltas.
+
+The process-pool path (:mod:`repro.ampc.pool`) parallelizes a round's
+machine fleet but cheats the AMPC memory model: every worker attaches
+the *entire* residual CSR through shared memory, so the per-machine
+space budget S is fictional.  This module replaces that with a
+simulated distributed fabric in which each shard holds only
+
+- its **owned residual rows** — the hash partition
+  ``owner(v) = splitmix64(v) mod p`` assigns every vertex (and the coin
+  game rooted at it) to exactly one of ``p`` shards; a shard stores the
+  residual adjacency rows of its owned vertices and nothing else;
+- a **bounded ghost fringe** — rows of foreign vertices a shard's games
+  explored this round, fetched on demand and evicted as soon as no
+  still-unresolved game pins them (see *ghost-fringe invalidation*
+  below); ghosts never survive a round boundary;
+- **round-local scratch** — the compacted local CSR and fold
+  accumulators of the games currently replaying.
+
+Every array a shard holds is accounted by tag against a configurable S
+budget through :class:`MemoryGuard`, which raises :class:`MemoryGuardError`
+the moment the shard's held words exceed the budget — the budget
+*binds*: a graph whose full CSR exceeds one shard's budget still colors
+correctly with enough shards, and an under-budgeted shard fails fast
+instead of silently over-holding.
+
+Message types
+-------------
+
+All communication is typed, owner-routed, and size-capped (payloads
+larger than ``cap_words`` ship as multiple delivery segments; row
+resolutions split at row boundaries, so one oversized row still ships
+whole).  Word counts are payload words (int64 slots); per-round totals
+are surfaced through the ``comm`` dict and
+``BetaPartitionOutcome.round_comm``.
+
+``placement``
+    Driver → shard, once at fabric initialization: the shard's owned
+    slice of the residual CSR ``(ids, offsets, targets)``.
+``assignment``
+    Driver → shard, per round: the roots of the shard's owned games.
+``row-request``
+    Shard → owner, per sub-round: the vertex ids of rows that games
+    explored but the shard does not hold.
+``row-resolution``
+    Owner → shard: the requested residual rows, ``(id, len, targets…)``
+    per row, packed into ≤ ``cap_words`` delivery segments.
+``layer-proposal fold``
+    Shard → owner, end of round: the ``(u, layer)`` proof entries of
+    its finished games, routed to ``owner(u)``; owners min/+-fold them
+    and forward one folded ``(u, min, count)`` triple per vertex to the
+    driver's DDS merge.
+``result``
+    Shard → driver, end of round: per-game ``(reads, writes)`` charges
+    and (when the driver's cross-round cache is recording) the game
+    record tuples.
+``retirement``
+    Driver → shards, at the round boundary: the vertices assigned this
+    round.  Each shard drops its retired owned rows and prunes retired
+    ids out of its remaining rows — order-preserving, so the pruned
+    slice stays exactly the owner partition of the next round's
+    residual CSR and placement is paid only once.
+
+Ordering and commutativity of the folds
+---------------------------------------
+
+Shards finish games in arbitrary order, and fold messages arrive at
+owners in arbitrary order.  The only cross-shard merges are the layer
+min-fold and the proposal count: ``min`` and ``+`` are commutative and
+associative with identity (``∞`` / ``0``), so the owner-side fold is
+independent of arrival order, and the owner→driver triples scatter into
+the same ``np.minimum.at`` / ``np.add.at`` accumulators the serial
+kernel uses.  Per-game charges scatter by machine position
+(position-disjoint across shards), and records key by root (one writer
+each).  Hence every observable — partitions, layers, probe counts,
+per-round stats, store words — is bit-identical to the shared-memory
+path for any shard count, which the differential tests assert.
+
+Game execution and exactness
+----------------------------
+
+A coin game's transcript is a pure function of the residual rows of its
+final explored set S_v — both engines read a row (content or degree)
+only for vertices they have explored (outside coin holders are tracked
+as a touched *set*; forwarding sets, σ-rankings, and proofs read
+explored rows only).  The fabric exploits this: each shard runs its
+games against its *partial* view with missing rows empty, then checks
+each game's recorded explored set against the rows actually held.  A
+game whose explored set is fully held produced the exact transcript —
+commit it; otherwise the run is discarded, the missing rows are
+requested from their owners, and the game re-runs next sub-round.  The
+batched engine runs on an order-preserving compaction of the held rows
+(global ids → ranks; every order-dependent tie-break is preserved under
+a monotone remap, so committed transcripts map back exactly), closed
+with synthetic reverse rows for fringe vertices so its transpose-based
+replay arena stays well-formed — synthetic rows are only ever read by
+games that explored a fringe vertex, i.e. games that are discarded.
+
+Ghost-fringe invalidation rules
+-------------------------------
+
+1.  Ghosts are round-local: cleared before a round's first sub-round
+    (the next round's games explore different balls, and retirement
+    would stale them anyway).
+2.  A game *pins* every row it has ever requested; pins drop when the
+    game commits.  After each exchange a shard evicts all ghosts with
+    no live pin — this bounds the fringe by the unresolved games' balls
+    while guaranteeing termination: a game's held set grows
+    monotonically, and each re-run either commits or requests a row it
+    never held, so sub-rounds are bounded by the largest ball.
+3.  Owned rows are never ghosted (the owner serves its own reads), and
+    a ghost is always a verbatim copy of the owner's current row —
+    rows only change at retirement, which happens between rounds, when
+    no ghosts exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MESSAGE_CAP_WORDS",
+    "MemoryGuard",
+    "MemoryGuardError",
+    "MessageFabric",
+    "owner_of",
+]
+
+# Default payload cap of one delivery segment, in int64 words.  Purely a
+# counting granularity (segments of one logical payload ship together);
+# EngineConfig.message_cap_words / $REPRO_MESSAGE_CAP_WORDS override it.
+MESSAGE_CAP_WORDS = 1 << 15
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_INF = float("inf")
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def owner_of(vertices: np.ndarray, num_shards: int) -> np.ndarray:
+    """Owner shard of each vertex: ``splitmix64(v) mod num_shards``.
+
+    A fixed deterministic mix (not Python's randomized ``hash``) keeps
+    the partition reproducible across processes and runs; splitmix64
+    scatters consecutive vertex ids so contiguous graph regions spread
+    over shards instead of landing on one.
+    """
+    z = np.asarray(vertices, dtype=np.int64).astype(np.uint64) + _GAMMA
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    z ^= z >> np.uint64(31)
+    return (z % np.uint64(num_shards)).astype(np.int64)
+
+
+class MemoryGuardError(RuntimeError):
+    """A shard's held words exceeded its configured S budget."""
+
+
+class MemoryGuard:
+    """Tag-based words accounting for everything one shard holds.
+
+    Every array a shard keeps is registered under a tag
+    (``owned_rows``, ``ghost_fringe``, ``game_scratch``, …);
+    :meth:`account` replaces the tag's charge and raises
+    :class:`MemoryGuardError` the moment the total exceeds the budget.
+    ``budget_words=None`` accounts (for the peak counters) but never
+    raises.
+    """
+
+    def __init__(
+        self, budget_words: int | None = None, name: str = "shard"
+    ) -> None:
+        if budget_words is not None and budget_words < 1:
+            raise ValueError("budget_words must be >= 1 (or None)")
+        self.budget_words = budget_words
+        self.name = name
+        self.current = 0
+        self.peak = 0
+        self.round_peak = 0
+        self._held: dict[str, int] = {}
+
+    def begin_round(self) -> None:
+        """Reset the per-round peak (lifetime ``peak`` keeps running)."""
+        self.round_peak = self.current
+
+    def account(self, tag: str, words: int) -> None:
+        """Set ``tag``'s held words; raise loudly on budget violation."""
+        words = int(words)
+        if words < 0:
+            raise ValueError(f"negative words for tag {tag!r}")
+        self.current += words - self._held.get(tag, 0)
+        self._held[tag] = words
+        if self.current > self.peak:
+            self.peak = self.current
+        if self.current > self.round_peak:
+            self.round_peak = self.current
+        if self.budget_words is not None and self.current > self.budget_words:
+            held = ", ".join(
+                f"{t}={w}" for t, w in sorted(self._held.items()) if w
+            )
+            raise MemoryGuardError(
+                f"{self.name} holds {self.current} words, exceeding its "
+                f"S budget of {self.budget_words} ({held})"
+            )
+
+    def release(self, tag: str) -> None:
+        self.current -= self._held.pop(tag, 0)
+
+    def held_words(self) -> int:
+        return self.current
+
+
+def _in_sorted(values: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Membership mask of ``values`` in the sorted id array ``keys``."""
+    if not len(keys) or not len(values):
+        return np.zeros(len(values), dtype=bool)
+    pos = np.minimum(np.searchsorted(keys, values), len(keys) - 1)
+    return keys[pos] == values
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    if not values.size:
+        return values
+    ordered = np.sort(values)
+    keep = np.empty(len(ordered), dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+def _segment_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices covering rows ``[starts[i], starts[i]+counts[i])``."""
+    total = int(counts.sum())
+    if not total:
+        return _EMPTY
+    out = np.repeat(starts - (np.cumsum(counts) - counts), counts)
+    out += np.arange(total, dtype=np.int64)
+    return out
+
+
+class _Shard:
+    """One simulated machine: owned rows + ghost fringe, all guarded."""
+
+    def __init__(self, sid: int, num_shards: int, budget_words: int | None):
+        self.sid = sid
+        self.num_shards = num_shards
+        self.guard = MemoryGuard(budget_words, name=f"shard[{sid}]")
+        self.row_ids = _EMPTY  # sorted owned ids with a stored row
+        self.row_offsets = np.zeros(1, dtype=np.int64)
+        self.row_targets = _EMPTY
+        self.ghosts: dict[int, np.ndarray] = {}
+
+    # -- owned rows --------------------------------------------------------
+
+    def install_owned(
+        self, ids: np.ndarray, offsets: np.ndarray, targets: np.ndarray
+    ) -> int:
+        self.row_ids = ids
+        self.row_offsets = offsets
+        self.row_targets = targets
+        words = len(ids) + len(offsets) + len(targets)
+        self.guard.account("owned_rows", words)
+        return words
+
+    def owned_row(self, v: int) -> np.ndarray:
+        """The residual row of owned vertex ``v`` (implicitly empty rows
+        — isolated alive vertices — are served as empty)."""
+        i = int(np.searchsorted(self.row_ids, v))
+        if i < len(self.row_ids) and self.row_ids[i] == v:
+            return self.row_targets[
+                self.row_offsets[i]:self.row_offsets[i + 1]
+            ]
+        return _EMPTY
+
+    def retire(self, retired: np.ndarray) -> None:
+        """Drop retired owned rows; prune retired ids from the rest.
+
+        Filtering preserves target order, so the pruned slice equals the
+        owner partition of the next round's residual CSR.
+        """
+        if not len(self.row_ids):
+            return
+        keep_rows = ~_in_sorted(self.row_ids, retired)
+        keep_tgts = ~_in_sorted(self.row_targets, retired)
+        row_index = np.repeat(
+            np.arange(len(self.row_ids), dtype=np.int64),
+            np.diff(self.row_offsets),
+        )
+        counts = np.bincount(
+            row_index[keep_tgts], minlength=len(self.row_ids)
+        )[keep_rows]
+        self.row_targets = self.row_targets[keep_tgts & keep_rows[row_index]]
+        self.row_ids = self.row_ids[keep_rows]
+        self.row_offsets = np.zeros(len(self.row_ids) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.row_offsets[1:])
+        self.guard.account(
+            "owned_rows",
+            len(self.row_ids) + len(self.row_offsets) + len(self.row_targets),
+        )
+
+    # -- ghost fringe ------------------------------------------------------
+
+    def install_ghosts(self, rows: list[tuple[int, np.ndarray]]) -> None:
+        for v, row in rows:
+            self.ghosts[v] = row
+        self._account_ghosts()
+
+    def evict_ghosts(self, pinned: set[int]) -> None:
+        for v in [v for v in self.ghosts if v not in pinned]:
+            del self.ghosts[v]
+        self._account_ghosts()
+
+    def clear_ghosts(self) -> None:
+        self.ghosts.clear()
+        self.guard.release("ghost_fringe")
+
+    def _account_ghosts(self) -> None:
+        self.guard.account(
+            "ghost_fringe",
+            sum(1 + len(row) for row in self.ghosts.values()),
+        )
+
+    def ghost_ids(self) -> np.ndarray:
+        if not self.ghosts:
+            return _EMPTY
+        ids = np.fromiter(
+            self.ghosts.keys(), dtype=np.int64, count=len(self.ghosts)
+        )
+        ids.sort()
+        return ids
+
+    def held_mask(
+        self, vertices: np.ndarray, ghost_ids: np.ndarray
+    ) -> np.ndarray:
+        """Which of ``vertices`` this shard holds the residual row of."""
+        mask = owner_of(vertices, self.num_shards) == self.sid
+        mask |= _in_sorted(vertices, ghost_ids)
+        return mask
+
+    def row_of(self, v: int) -> np.ndarray | None:
+        """Held row of ``v`` (owned or ghost), or None when not held."""
+        if int(owner_of(np.asarray([v]), self.num_shards)[0]) == self.sid:
+            return self.owned_row(v)
+        return self.ghosts.get(v)
+
+
+class _ShardRound:
+    """Round-local game state of one shard (valid/invalid, pins, folds)."""
+
+    def __init__(
+        self, shard: _Shard, roots: np.ndarray, positions: np.ndarray,
+        engine: str,
+    ) -> None:
+        self.shard = shard
+        self.roots = roots
+        self.positions = positions
+        self.engine = engine
+        g = len(roots)
+        self.valid = np.zeros(g, dtype=bool)
+        self.reads = np.zeros(g, dtype=np.int64)
+        self.writes = np.zeros(g, dtype=np.int64)
+        self.ball_words = np.zeros(g, dtype=np.int64)
+        self.records: list = [None] * g
+        self.missing: list[set[int]] = [set() for __ in range(g)]
+        self.fetched: list[set[int]] = [set() for __ in range(g)]
+        self.replay_stats: dict = {}
+        self.ejected_games = 0
+        shard.guard.account("game_assignments", 2 * g)
+
+    def pending(self) -> np.ndarray:
+        return np.flatnonzero(~self.valid)
+
+    def missing_union(self) -> np.ndarray:
+        wanted: set[int] = set()
+        for i in self.pending().tolist():
+            wanted |= self.missing[i]
+            self.fetched[i] |= self.missing[i]
+        if not wanted:
+            return _EMPTY
+        return np.asarray(sorted(wanted), dtype=np.int64)
+
+    def pinned_ghosts(self) -> set[int]:
+        pins: set[int] = set()
+        for i in self.pending().tolist():
+            pins |= self.fetched[i]
+        return pins
+
+    def finish(self) -> None:
+        guard = self.shard.guard
+        guard.release("game_assignments")
+        guard.release("game_scratch")
+        guard.release("fold_accumulators")
+
+    # -- one sub-round of play --------------------------------------------
+
+    def play(self, params: dict, config) -> None:
+        if self.engine == "batched":
+            self._play_batched(params, config)
+        else:
+            self._play_scalar(params)
+
+    def _commit(
+        self, i: int, reads: int, writes: int, record: tuple,
+        ball_words: int, ejected: bool,
+    ) -> None:
+        self.valid[i] = True
+        self.missing[i] = set()
+        self.reads[i] = reads
+        self.writes[i] = writes
+        self.records[i] = record
+        self.ball_words[i] = ball_words
+        if ejected:
+            self.ejected_games += 1
+
+    def _play_batched(self, params: dict, config) -> None:
+        from repro.core.batched_games import play_games_batched
+        from repro.core.columnar_rounds import LazyAdjacency, play_coin_game
+
+        shard = self.shard
+        need = self.pending()
+        roots_g = self.roots[need]
+        ghost_ids = shard.ghost_ids()
+        ghost_rows = [shard.ghosts[v] for v in ghost_ids.tolist()]
+        parts = [shard.row_ids, shard.row_targets, roots_g, ghost_ids]
+        parts.extend(ghost_rows)
+        universe = _sorted_unique(
+            np.concatenate([p for p in parts if len(p)])
+        )
+        u_count = len(universe)
+        held = shard.held_mask(universe, ghost_ids)
+
+        # Held rows, compacted to local ids (global order preserved, so
+        # every order-dependent tie-break is isomorphic to the global run).
+        own_pos = np.searchsorted(universe, shard.row_ids)
+        own_counts = np.diff(shard.row_offsets)
+        ghost_pos = np.searchsorted(universe, ghost_ids)
+        ghost_counts = np.fromiter(
+            (len(r) for r in ghost_rows), dtype=np.int64, count=len(ghost_rows)
+        )
+        deg_held = np.zeros(u_count, dtype=np.int64)
+        deg_held[own_pos] = own_counts
+        deg_held[ghost_pos] = ghost_counts
+        own_tgt = np.searchsorted(universe, shard.row_targets)
+        ghost_tgt = (
+            np.searchsorted(universe, np.concatenate(ghost_rows))
+            if ghost_rows else _EMPTY
+        )
+        held_src = np.concatenate([
+            np.repeat(own_pos, own_counts), np.repeat(ghost_pos, ghost_counts)
+        ]) if u_count else _EMPTY
+        held_tgt = np.concatenate([own_tgt, ghost_tgt])
+
+        # Synthetic reverse rows close the held subgraph symmetrically:
+        # the engine's transpose-position map assumes every edge's
+        # reverse exists.  Only a game that explores a fringe vertex can
+        # read one — and that game is invalid and discarded.
+        fringe_edge = ~held[held_tgt]
+        syn_src = held_tgt[fringe_edge]
+        syn_tgt = held_src[fringe_edge]
+        deg = deg_held + np.bincount(
+            syn_src, minlength=u_count
+        ) if syn_src.size else deg_held
+        offsets_l = np.zeros(u_count + 1, dtype=np.int64)
+        np.cumsum(deg, out=offsets_l[1:])
+        targets_l = np.empty(int(offsets_l[-1]), dtype=np.int64)
+        targets_l[_segment_indices(offsets_l[own_pos], own_counts)] = own_tgt
+        targets_l[
+            _segment_indices(offsets_l[ghost_pos], ghost_counts)
+        ] = ghost_tgt
+        if syn_src.size:
+            order = np.lexsort((syn_tgt, syn_src))
+            syn_rows = _sorted_unique(syn_src)
+            targets_l[
+                _segment_indices(
+                    offsets_l[syn_rows],
+                    np.bincount(syn_src, minlength=u_count)[syn_rows],
+                )
+            ] = syn_tgt[order]
+
+        shard.guard.account(
+            "game_scratch",
+            (u_count + 1) + 2 * len(targets_l) + 3 * u_count,
+        )
+
+        from repro.core.batched_games import csr_transpose_positions
+
+        roots_l = np.searchsorted(universe, roots_g)
+        out_layer = np.full(u_count, _INF)
+        out_count = np.zeros(u_count, dtype=np.int64)
+        k = len(roots_l)
+        reads = np.zeros(k, dtype=np.int64)
+        writes = np.zeros(k, dtype=np.int64)
+        records: list = [None] * k
+        ejected_flags = np.zeros(k, dtype=bool)
+        transpose = csr_transpose_positions(offsets_l, targets_l)
+        block = config.cohort_games
+        arena_hint = [0, 0]
+        ejected: list[int] = []
+        for start in range(0, k, block):
+            stop = min(start + block, k)
+            info = play_games_batched(
+                offsets_l, targets_l, roots_l[start:stop],
+                x=params["x"], beta=params["beta"], clip=params["clip"],
+                horizon=params["horizon"], scale=params["scale"],
+                out_layer=out_layer, out_count=out_count,
+                want_records=True, transpose_pos=transpose,
+                replay_stats=self.replay_stats, arena_hint=arena_hint,
+                cone_cutoff=config.replay_cone_cutoff,
+                poor_streak=config.replay_poor_streak,
+            )
+            reads[start:stop] = info.reads
+            writes[start:stop] = info.writes
+            records[start:stop] = info.records
+            ejected.extend((info.ejected + start).tolist())
+        if ejected:
+            adj = LazyAdjacency(offsets_l, targets_l)
+            for gi in ejected:
+                reads[gi], writes[gi], records[gi] = play_coin_game(
+                    adj, int(roots_l[gi]), params["x"], params["beta"],
+                    params["clip"], params["horizon"], params["scale"],
+                    out_layer, out_count, True,
+                )
+                ejected_flags[gi] = True
+
+        for j, i in enumerate(need.tolist()):
+            record = records[j]
+            explored_l = np.asarray(record[0], dtype=np.int64)
+            miss = explored_l[~held[explored_l]]
+            if miss.size:
+                self.missing[i] = set(universe[miss].tolist())
+                continue
+            explored_g = universe[explored_l]
+            proof_g = [
+                (int(universe[u]), lay) for u, lay in record[1]
+            ]
+            # Real words of the held ball: one degree word plus the row
+            # targets per explored vertex — identically the game's probe
+            # charge, so strict-budget parity is checked against what a
+            # shard genuinely held.
+            ball = len(explored_l) + int(deg_held[explored_l].sum())
+            self._commit(
+                i, int(reads[j]), int(writes[j]),
+                (explored_g.tolist(), proof_g, int(reads[j]), int(writes[j])),
+                ball, bool(ejected_flags[j]),
+            )
+        shard.guard.release("game_scratch")
+
+    def _play_scalar(self, params: dict) -> None:
+        from repro.core.columnar_rounds import play_coin_game
+
+        shard = self.shard
+        adj = _GhostAdjacency(shard)
+        out_layer = _MinScratch()
+        out_count = _CountScratch()
+        for i in self.pending().tolist():
+            adj.missing = set()
+            reads, writes, record = play_coin_game(
+                adj, int(self.roots[i]), params["x"], params["beta"],
+                params["clip"], params["horizon"], params["scale"],
+                out_layer, out_count, True,
+            )
+            if adj.missing:
+                self.missing[i] = adj.missing
+                continue
+            ball = len(record[0]) + sum(len(adj[u]) for u in record[0])
+            self._commit(i, reads, writes, record, ball, False)
+        shard.guard.account("game_scratch", adj.cached_words())
+        shard.guard.release("game_scratch")
+
+
+class _GhostAdjacency:
+    """Global-id adjacency over one shard's held rows (missing → empty).
+
+    The scalar engine probes ``adj[u]`` only for explored vertices; a
+    probe of a row the shard does not hold returns an empty row and logs
+    the id — the game is then invalid and the logged ids become the
+    sub-round's row requests.
+    """
+
+    def __init__(self, shard: _Shard) -> None:
+        self._shard = shard
+        self._rows: dict[int, list[int]] = {}
+        self.missing: set[int] = set()
+
+    def __getitem__(self, v: int) -> list[int]:
+        row = self._rows.get(v)
+        if row is None:
+            held = self._shard.row_of(v)
+            if held is None:
+                self.missing.add(v)
+                return []
+            row = held.tolist()
+            self._rows[v] = row
+        return row
+
+    def cached_words(self) -> int:
+        return sum(1 + len(row) for row in self._rows.values())
+
+
+class _MinScratch(dict):
+    """Dense-accumulator stand-in: missing keys read as +∞."""
+
+    def __missing__(self, key):
+        return _INF
+
+
+class _CountScratch(dict):
+    """Dense-accumulator stand-in: missing keys read as 0."""
+
+    def __missing__(self, key):
+        return 0
+
+
+class MessageFabric:
+    """The driver-side fabric: ``p`` owner-hashed shards + typed routing.
+
+    Shards are simulated in-process (the fabric models the memory and
+    communication discipline of a distributed run — throughput sharding
+    is the process pool's job), but every byte a shard holds and every
+    word that crosses a shard boundary is accounted as if they were
+    separate machines.  ``run_round`` plugs into
+    :func:`repro.core.columnar_rounds.lca_round_kernel` in place of the
+    pool and returns the same ``(positions, ShardResult)`` pairs.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        budget_words: int | None = None,
+        cap_words: int | None = None,
+    ) -> None:
+        num_shards = int(num_shards)
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.budget_words = budget_words
+        self.cap_words = int(cap_words) if cap_words else MESSAGE_CAP_WORDS
+        if self.cap_words < 4:
+            raise ValueError("cap_words must be >= 4 (one row header)")
+        self.shards = [
+            _Shard(sid, num_shards, budget_words) for sid in range(num_shards)
+        ]
+        self.placed = False
+        self.peak_held_words = 0
+        self.total_messages = 0
+        self.total_words = 0
+
+    # -- counters ----------------------------------------------------------
+
+    _COMM_KEYS = (
+        "messages", "words", "subrounds", "row_requests", "rows_served",
+        "placement_words", "retirement_words", "fold_words", "result_words",
+        "max_shard_words", "max_game_ball_words", "max_held_words",
+        "ejected_games",
+    )
+
+    def _init_comm(self, comm: dict) -> dict:
+        for key in self._COMM_KEYS:
+            comm.setdefault(key, 0)
+        comm["shards"] = self.num_shards
+        return comm
+
+    def _send(
+        self, comm: dict, shard_words: list[int], words: int,
+        src: int | None = None, dst: int | None = None,
+        messages: int | None = None,
+    ) -> None:
+        """Count one logical payload (``src``/``dst`` None = the driver)."""
+        words = int(words)
+        if messages is None:
+            messages = max(1, -(-words // self.cap_words))
+        comm["messages"] += messages
+        comm["words"] += words
+        self.total_messages += messages
+        self.total_words += words
+        if src is not None:
+            shard_words[src] += words
+        if dst is not None:
+            shard_words[dst] += words
+
+    def _row_segments(self, row_words: list[int]) -> int:
+        """Delivery segments for rows packed greedily at the cap."""
+        segments, used = 0, 0
+        for w in row_words:
+            if segments and used + w <= self.cap_words:
+                used += w
+            else:
+                segments += 1
+                used = w
+        return max(1, segments)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _distribute(
+        self, offsets: np.ndarray, targets: np.ndarray, comm: dict,
+        shard_words: list[int],
+    ) -> None:
+        """Initial placement: slice the residual CSR by owner hash."""
+        deg = np.diff(offsets)
+        sources = np.flatnonzero(deg > 0)
+        owners = owner_of(sources, self.num_shards)
+        for sid, shard in enumerate(self.shards):
+            ids = sources[owners == sid]
+            counts = deg[ids]
+            row_offsets = np.zeros(len(ids) + 1, dtype=np.int64)
+            np.cumsum(counts, out=row_offsets[1:])
+            row_targets = targets[_segment_indices(offsets[ids], counts)]
+            words = shard.install_owned(ids, row_offsets, row_targets)
+            comm["placement_words"] += words
+            self._send(comm, shard_words, words, dst=sid)
+        self.placed = True
+
+    def retire(self, assigned: np.ndarray, comm: dict | None = None) -> None:
+        """Broadcast retirement notices for this round's assignments."""
+        if not self.placed:
+            return
+        retired = np.sort(np.asarray(assigned, dtype=np.int64))
+        if not retired.size:
+            return
+        if comm is not None:
+            self._init_comm(comm)
+        for shard in self.shards:
+            shard.retire(retired)
+            if comm is not None:
+                comm["retirement_words"] += len(retired)
+                self._send(
+                    comm, [0] * self.num_shards, len(retired),
+                    dst=shard.sid,
+                )
+
+    def run_round(
+        self,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        roots: np.ndarray,
+        positions: np.ndarray,
+        *,
+        x: int,
+        beta: int,
+        clip: int,
+        horizon: int,
+        scale: int | None,
+        want_records: bool,
+        engine: str = "batched",
+        config=None,
+        comm: dict | None = None,
+    ) -> list[tuple[np.ndarray, "object"]]:
+        """Play one round's pending games through the shard fabric.
+
+        Returns ``(positions, ShardResult)`` pairs exactly like
+        :meth:`repro.ampc.pool.CoinGamePool.run_games` — reads/writes and
+        records ride with the shard owning the *game*, layer folds with
+        the shard owning the *vertex* (both scatter through commutative
+        accumulators, so the split is invisible).
+        """
+        from repro.ampc.pool import ShardResult
+
+        if config is None:
+            from repro.ampc.engine_config import EngineConfig
+
+            config = EngineConfig.from_env()
+        comm = self._init_comm({} if comm is None else comm)
+        shard_words = [0] * self.num_shards
+        for shard in self.shards:
+            shard.guard.begin_round()
+            shard.clear_ghosts()
+        if not self.placed:
+            self._distribute(offsets, targets, comm, shard_words)
+
+        owners = owner_of(roots, self.num_shards)
+        runs: list[_ShardRound] = []
+        for sid, shard in enumerate(self.shards):
+            sel = np.flatnonzero(owners == sid)
+            if sel.size:
+                self._send(comm, shard_words, 2 * sel.size, dst=sid)
+            runs.append(
+                _ShardRound(shard, roots[sel], positions[sel], engine)
+            )
+        params = {
+            "x": x, "beta": beta, "clip": clip, "horizon": horizon,
+            "scale": scale,
+        }
+
+        # BSP sub-rounds: play, validate, exchange missing rows, repeat.
+        while True:
+            for run in runs:
+                if run.pending().size:
+                    run.play(params, config)
+            requests: dict[int, dict[int, np.ndarray]] = {}
+            total_missing = 0
+            for sid, run in enumerate(runs):
+                miss = run.missing_union()
+                if miss.size:
+                    total_missing += int(miss.size)
+                    owners_m = owner_of(miss, self.num_shards)
+                    for dst in _sorted_unique(owners_m).tolist():
+                        requests.setdefault(dst, {})[sid] = (
+                            miss[owners_m == dst]
+                        )
+            if not total_missing:
+                break
+            comm["subrounds"] += 1
+            for dst in sorted(requests):
+                owner = self.shards[dst]
+                for src, ids in sorted(requests[dst].items()):
+                    self._send(comm, shard_words, len(ids), src=src, dst=dst)
+                    comm["row_requests"] += len(ids)
+                    rows = [
+                        (v, owner.owned_row(v).copy()) for v in ids.tolist()
+                    ]
+                    row_words = [2 + len(row) for __, row in rows]
+                    self._send(
+                        comm, shard_words, sum(row_words), src=dst, dst=src,
+                        messages=self._row_segments(row_words),
+                    )
+                    comm["rows_served"] += len(rows)
+                    self.shards[src].install_ghosts(rows)
+            for run in runs:
+                run.shard.evict_ghosts(run.pinned_ghosts())
+
+        # Layer-proposal folds, routed by vertex owner; owners min/+-fold
+        # and forward one (u, min, count) triple per vertex to the driver.
+        fold_u: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
+        fold_l: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
+        for sid, run in enumerate(runs):
+            proof_u: list[int] = []
+            proof_l: list[int] = []
+            for record in run.records:
+                for u, lay in record[1]:
+                    proof_u.append(u)
+                    proof_l.append(lay)
+            if not proof_u:
+                continue
+            pu = np.asarray(proof_u, dtype=np.int64)
+            pl = np.asarray(proof_l, dtype=np.int64)
+            owners_p = owner_of(pu, self.num_shards)
+            for dst in _sorted_unique(owners_p).tolist():
+                sel = owners_p == dst
+                self._send(
+                    comm, shard_words, 3 * int(sel.sum()), src=sid, dst=dst
+                )
+                comm["fold_words"] += 3 * int(sel.sum())
+                fold_u[dst].append(pu[sel])
+                fold_l[dst].append(pl[sel])
+
+        results: list[tuple[np.ndarray, ShardResult]] = []
+        max_ball = 0
+        for sid, run in enumerate(runs):
+            if fold_u[sid]:
+                fu = np.concatenate(fold_u[sid])
+                fl = np.concatenate(fold_l[sid])
+                vertices = _sorted_unique(fu)
+                slots = np.searchsorted(vertices, fu)
+                minima = np.full(len(vertices), _INF)
+                np.minimum.at(minima, slots, fl)
+                counts = np.bincount(slots, minlength=len(vertices))
+                self.shards[sid].guard.account(
+                    "fold_accumulators", 3 * len(vertices)
+                )
+            else:
+                vertices = _EMPTY
+                minima = np.empty(0)
+                counts = _EMPTY
+            self._send(
+                comm, shard_words, 3 * len(vertices), src=sid
+            )
+            result_words = 2 * len(run.roots)
+            if want_records:
+                result_words += sum(
+                    2 + len(record[0]) + 2 * len(record[1])
+                    for record in run.records
+                )
+            if len(run.roots):
+                self._send(comm, shard_words, result_words, src=sid)
+                comm["result_words"] += result_words
+            if run.ball_words.size:
+                max_ball = max(max_ball, int(run.ball_words.max()))
+            comm["ejected_games"] += run.ejected_games
+            results.append((
+                run.positions,
+                ShardResult(
+                    run.reads, run.writes, vertices, minima, counts,
+                    run.records if want_records else None,
+                    run.replay_stats or None,
+                ),
+            ))
+            run.finish()
+
+        comm["max_shard_words"] = max(
+            comm["max_shard_words"], max(shard_words)
+        )
+        comm["max_game_ball_words"] = max(
+            comm["max_game_ball_words"], max_ball
+        )
+        round_peak = max(shard.guard.round_peak for shard in self.shards)
+        comm["max_held_words"] = max(comm["max_held_words"], round_peak)
+        self.peak_held_words = max(self.peak_held_words, round_peak)
+        return results
+
+    def max_held_words(self) -> int:
+        """Current held words, maximized over shards."""
+        return max(shard.guard.current for shard in self.shards)

@@ -105,8 +105,19 @@ MIN_POOL_GAMES = 256
 MIN_POOL_GAMES_BATCHED = 2048
 
 
-def min_pool_games_for(engine: str) -> int:
-    """Engine-aware dispatch-amortization threshold."""
+def min_pool_games_for(engine: str, config=None) -> int:
+    """Engine-aware dispatch-amortization threshold.
+
+    ``config`` (an :class:`repro.ampc.engine_config.EngineConfig`)
+    supplies the run's pinned thresholds; None reads the module
+    constants above.
+    """
+    if config is not None:
+        return (
+            config.min_pool_games_batched
+            if engine == "batched"
+            else config.min_pool_games
+        )
     return MIN_POOL_GAMES_BATCHED if engine == "batched" else MIN_POOL_GAMES
 
 
@@ -265,7 +276,7 @@ def _play_shard(
         raise RuntimeError("injected worker fault (test hook)")
     if fault == "exit":  # pragma: no cover - exercised via subprocess
         os._exit(17)
-    x, beta, clip, horizon, scale, want_records, engine = params
+    x, beta, clip, horizon, scale, want_records, engine, config = params
     if engine == "batched":
         from repro.core.columnar_rounds import run_games_batched_with_fallback
 
@@ -282,6 +293,7 @@ def _play_shard(
                 want_records=want_records,
                 transpose_pos=_load_transpose(csr_meta),
                 replay_stats=replay_stats,
+                config=config,
             )
         fold_vertices = np.flatnonzero(out_count_arr)
         fold_minima = out_layer_arr[fold_vertices]
@@ -390,6 +402,7 @@ class CoinGamePool:
         engine: str = "scalar",
         transpose_pos: np.ndarray | None = None,
         cohort_games: int | None = None,
+        config=None,
     ) -> list[tuple[np.ndarray, ShardResult]]:
         """Play the games rooted at ``roots`` across the worker fleet.
 
@@ -422,7 +435,9 @@ class CoinGamePool:
             csr_meta, segments = self._publish_csr(
                 offsets, targets, transpose_pos
             )
-            params = (x, beta, clip, horizon, scale, want_records, engine)
+            params = (
+                x, beta, clip, horizon, scale, want_records, engine, config
+            )
             max_shards = min(
                 len(roots), self.workers * self.chunks_per_worker
             )

@@ -163,6 +163,7 @@ class AMPCSimulator:
         if reducer is not None:
             target.reduce_per_key(reducer)
         stats.store_words = target.total_words()
+        stats.dds_held_words = target.held_words()
         self.stats.rounds.append(stats)
         self.stores.append(target)
         return target
@@ -204,6 +205,7 @@ class AMPCSimulator:
             reads=batch.reads,
             writes=batch.writes,
             store_words=target.total_words(),
+            dds_held_words=target.held_words(),
         )
         self.stats.rounds.append(stats)
         self.stores.append(target)

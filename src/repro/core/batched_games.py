@@ -334,8 +334,19 @@ class _Lockstep:
         want_records: bool,
         transpose_pos: np.ndarray | None = None,
         arena_hint: tuple[int, int] | None = None,
+        cone_cutoff: float | None = None,
+        poor_streak: int | None = None,
     ) -> None:
         self.arena_hint = arena_hint or (0, 0)
+        # Adaptive-replay gate knobs: per-run overrides beat the module
+        # constants (read here, at construction time, so monkeypatched
+        # constants flow through when no override is given).
+        self.cone_cutoff = (
+            REPLAY_CONE_CUTOFF if cone_cutoff is None else cone_cutoff
+        )
+        self.poor_streak_limit = (
+            REPLAY_POOR_STREAK if poor_streak is None else poor_streak
+        )
         self.offsets = np.asarray(offsets, dtype=np.int64)
         self.targets = np.asarray(targets, dtype=np.int64)
         self.n = len(offsets) - 1
@@ -1294,11 +1305,11 @@ class _Lockstep:
                 wave_replayed, wave_fresh = self._last_replay_cone
                 total = wave_fresh + wave_replayed
                 if self._replayed_rounds >= 2 and total:
-                    if wave_fresh > REPLAY_CONE_CUTOFF * total:
+                    if wave_fresh > self.cone_cutoff * total:
                         self._poor_streak += 1
                     else:
                         self._poor_streak = 0
-                if self._poor_streak >= REPLAY_POOR_STREAK:
+                if self._poor_streak >= self.poor_streak_limit:
                     self.replay_enabled = False
                     self.snap_hops = None
                     stats["replay_disabled"] = (
@@ -1584,6 +1595,8 @@ def play_games_batched(
     transpose_pos: np.ndarray | None = None,
     replay_stats: dict | None = None,
     arena_hint: list | None = None,
+    cone_cutoff: float | None = None,
+    poor_streak: int | None = None,
 ) -> BatchedGamesInfo:
     """Play every game rooted at ``roots`` in lockstep against one CSR.
 
@@ -1612,6 +1625,7 @@ def play_games_batched(
         offsets, targets, roots, x, beta, clip, horizon, scale,
         out_layer, out_count, want_records, transpose_pos,
         tuple(arena_hint) if arena_hint else None,
+        cone_cutoff, poor_streak,
     )
     engine.run(phases, replay_stats)
     if arena_hint is not None:

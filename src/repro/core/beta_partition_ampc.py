@@ -45,7 +45,9 @@ from typing import Literal
 
 import numpy as np
 
+from repro.ampc.engine_config import EngineConfig
 from repro.ampc.machine import MachineContext
+from repro.ampc.messaging import MessageFabric
 from repro.ampc.pool import defer_full_gc, resolve_workers, shared_pool
 from repro.ampc.simulator import AMPCSimulator
 from repro.core.batched_games import replay_cone_fraction
@@ -80,6 +82,17 @@ class BetaPartitionOutcome:
     workers: int = 1  # worker processes the lca rounds sharded across
     game_cache_hits: int = 0  # coin games replayed from the cross-round cache
     engine: str = "scalar"  # coin-game execution: "batched" or "scalar"
+    transport: str = "shm"  # sharding fabric: "shm" (shared CSR) or "message"
+    shards: int = 0  # message-fabric shard count (0 under transport="shm")
+    # transport="message": one dict per lca round with the fabric's typed
+    # communication counters (messages / words / subrounds / row_requests
+    # / max_shard_words / max_held_words / …, see
+    # repro.ampc.messaging.MessageFabric) — empty dicts for rounds the
+    # fabric never saw (all games cache-replayed).
+    round_comm: list[dict] = field(default_factory=list)
+    # transport="message": lifetime peak of any shard's guarded held
+    # words — what the configured S budget binds against.
+    max_held_words: int = 0
     # Per-lca-round incremental-replay reuse (batched engine): each entry
     # holds the round's replayed_waves / fresh_waves / replayed_entries /
     # fresh_entries / redo_games / game_cache_hits counters plus the
@@ -155,6 +168,10 @@ def beta_partition_ampc(
     engine: str | None = None,
     min_pool_games: int | None = None,
     phases: dict | None = None,
+    transport: str = "shm",
+    shards: int | None = None,
+    shard_budget: int | None = None,
+    config=None,
 ) -> BetaPartitionOutcome:
     """Compute a complete β-partition of ``graph`` in simulated AMPC.
 
@@ -206,6 +223,29 @@ def beta_partition_ampc(
         all keys always present).  Worker shards are not instrumented,
         so pool-dispatched rounds contribute only to ``cache`` — time
         phase breakdowns with ``workers=1``, as the benchmark does.
+    transport:
+        Sharding fabric for the columnar lca rounds: ``"shm"`` (each
+        pool worker attaches the whole shared-memory CSR — the oracle
+        path) or ``"message"`` (owner-hashed shards holding only their
+        residual slice plus a bounded ghost fringe, exchanging typed
+        size-capped delta messages — :mod:`repro.ampc.messaging`).  A
+        pure memory/communication-discipline knob: every observable is
+        bit-identical to ``"shm"`` for any shard count.  ``"message"``
+        requires the columnar store and replaces the process pool.
+    shards:
+        Shard count under ``transport="message"`` (default: ``workers``,
+        floored at 2).
+    shard_budget:
+        Per-shard S budget in words under ``transport="message"``; every
+        array a shard holds is accounted against it and
+        :class:`repro.ampc.messaging.MemoryGuardError` is raised loudly
+        on violation.  None (default from
+        ``$REPRO_SHARD_BUDGET_WORDS``): account but never raise.
+    config:
+        An :class:`repro.ampc.engine_config.EngineConfig` pinning every
+        engine knob for this run; None snapshots the module-constant
+        defaults with ``REPRO_*`` env overrides applied
+        (:meth:`~repro.ampc.engine_config.EngineConfig.from_env`).
     """
     if beta < 1:
         raise ValueError("beta must be >= 1")
@@ -214,12 +254,24 @@ def beta_partition_ampc(
     if engine not in (None, "batched", "scalar"):
         raise ValueError('engine must be "batched" or "scalar"')
     engine = engine or "batched"
+    if transport not in ("shm", "message"):
+        raise ValueError('transport must be "shm" or "message"')
+    if transport == "message" and store != "columnar":
+        raise ValueError(
+            'transport="message" requires store="columnar" (the dict store '
+            "is the serial semantics oracle and never shards)"
+        )
     workers = resolve_workers(workers)
+    if config is None:
+        config = EngineConfig.from_env()
+    if shard_budget is None:
+        shard_budget = config.shard_budget_words
     n = graph.num_vertices
     if n == 0:
         return BetaPartitionOutcome(
             partition=PartialBetaPartition({}), beta=beta, rounds=0, mode="lca", x=0,
             workers=workers, engine=engine if store == "columnar" else "scalar",
+            transport=transport,
         )
     input_size = n + graph.num_edges
     sim = AMPCSimulator(
@@ -239,17 +291,27 @@ def beta_partition_ampc(
         max_rounds = 4 * (n.bit_length() + 2) + 8
 
     # Acquire the pool before suspending full GC: CoinGamePool snapshots
-    # the gc thresholds its workers should restore at fork time.
+    # the gc thresholds its workers should restore at fork time.  The
+    # message fabric replaces the pool outright — its shards simulate
+    # the memory/communication discipline in-process.
+    fabric = None
+    if transport == "message" and mode == "lca" and store == "columnar":
+        fabric = MessageFabric(
+            shards if shards is not None else max(2, workers),
+            budget_words=shard_budget,
+            cap_words=config.message_cap_words,
+        )
     pool = (
         shared_pool(workers)
         if store == "columnar" and workers > 1 and mode == "lca"
+        and fabric is None
         else None
     )
     with defer_full_gc():
         if store == "columnar":
             return _run_columnar(
                 graph, sim, beta, x, mode, max_rounds, workers, pool,
-                engine, min_pool_games, phases,
+                engine, min_pool_games, phases, fabric, transport, config,
             )
         return _run_dict(graph, sim, beta, x, mode, max_rounds, workers)
 
@@ -331,6 +393,9 @@ def _run_columnar(
     engine: str,
     min_pool_games: int | None,
     phases: dict | None,
+    fabric=None,
+    transport: str = "shm",
+    config=None,
 ) -> BetaPartitionOutcome:
     """The batched columnar loop — observationally identical to the dict
     path, with the residual re-encode, peel round, and DDS-side min-merge
@@ -343,6 +408,7 @@ def _run_columnar(
     layer_offset = 0
     unlayered_history: list[int] = []
     round_reuse: list[dict] = []
+    round_comm: list[dict] = []
     game_cache = GameCache() if mode == "lca" else None
 
     while alive.size:
@@ -355,6 +421,7 @@ def _run_columnar(
         offsets, targets = residual_csr(graph, alive)
         sim.port_residual_csr(alive, offsets, targets)
 
+        comm = None
         if mode == "peel":
             kernel = partial(peel_round_kernel, beta=beta)
         else:
@@ -362,10 +429,13 @@ def _run_columnar(
             if engine == "batched":
                 reuse = {}
                 round_reuse.append(reuse)
+            if fabric is not None:
+                comm = {}
+                round_comm.append(comm)
             kernel = partial(
                 lca_round_kernel, beta=beta, x=x, pool=pool, cache=game_cache,
                 engine=engine, min_pool_games=min_pool_games, phases=phases,
-                reuse=reuse,
+                reuse=reuse, fabric=fabric, comm=comm, config=config,
             )
         target = sim.round_vectorized(alive, kernel, reducer=min)
         assigned_vs, assigned_layers = target.layer_assignments()
@@ -383,6 +453,10 @@ def _run_columnar(
         alive = alive[keep[alive]]
         if game_cache is not None:
             game_cache.evict(assigned_vs.tolist())
+        if fabric is not None:
+            # Retirement notices ride the round boundary: every shard
+            # prunes its owned slice down to the next residual graph.
+            fabric.retire(assigned_vs, comm)
 
     for reuse in round_reuse:
         reuse["cone_fraction"] = replay_cone_fraction(reuse)
@@ -399,6 +473,10 @@ def _run_columnar(
         game_cache_hits=game_cache.hits if game_cache is not None else 0,
         engine=engine,
         round_reuse=round_reuse,
+        transport=transport,
+        shards=fabric.num_shards if fabric is not None else 0,
+        round_comm=round_comm,
+        max_held_words=fabric.peak_held_words if fabric is not None else 0,
     )
 
 

@@ -370,6 +370,7 @@ def run_games_batched_with_fallback(
     phases: dict | None = None,
     transpose_pos: np.ndarray | None = None,
     replay_stats: dict | None = None,
+    config=None,
 ) -> tuple[np.ndarray, np.ndarray, list | None]:
     """The lockstep engine plus its per-game scalar escape hatch.
 
@@ -388,7 +389,9 @@ def run_games_batched_with_fallback(
     # cache-sized game-index blocks is observationally identical — each
     # block's arena stays resident the way a scalar game's dicts do.
     num_games = len(roots)
-    block = COHORT_GAMES
+    block = COHORT_GAMES if config is None else config.cohort_games
+    cone_cutoff = None if config is None else config.replay_cone_cutoff
+    poor_streak = None if config is None else config.replay_poor_streak
     all_reads = np.zeros(num_games, dtype=np.int64)
     all_writes = np.zeros(num_games, dtype=np.int64)
     records: list | None = [None] * num_games if want_records else None
@@ -405,6 +408,7 @@ def run_games_batched_with_fallback(
             want_records=want_records, phases=phases,
             transpose_pos=transpose_pos, arena_hint=arena_hint,
             replay_stats=replay_stats,
+            cone_cutoff=cone_cutoff, poor_streak=poor_streak,
         )
         all_reads[start:stop] = info.reads
         all_writes[start:stop] = info.writes
@@ -435,6 +439,9 @@ def lca_round_kernel(
     min_pool_games: int | None = None,
     phases: dict | None = None,
     reuse: dict | None = None,
+    fabric=None,
+    comm: dict | None = None,
+    config=None,
 ) -> None:
     """One LCA round: every alive machine plays the coin game.
 
@@ -470,6 +477,17 @@ def lca_round_kernel(
     instrumented: rounds dispatched to the pool contribute only to
     ``cache`` (all four keys are always present, so a run whose games
     all went to workers reads as zeros, not missing keys).
+
+    ``fabric`` (a :class:`repro.ampc.messaging.MessageFabric`) replaces
+    the pool with owner-hashed message-passing shards — every pending
+    game dispatches (no ``min_pool_games`` gate: the fabric models the
+    memory/communication discipline, not throughput), the round's
+    communication counters accumulate into ``comm``, and the fold path
+    is shared with the pool since both return ``(positions,
+    ShardResult)`` pairs.  ``config`` (an
+    :class:`repro.ampc.engine_config.EngineConfig`) pins the run's
+    cohort/replay/dispatch knobs; None falls back to the module
+    constants.
     """
     alive = batch.machine_ids
     offsets, targets = batch.previous.adjacency_csr()
@@ -479,7 +497,7 @@ def lca_round_kernel(
     scale = fixed_coin_scale(beta, horizon)
     want_records = cache is not None and cache.armed
     if min_pool_games is None:
-        min_pool_games = min_pool_games_for(engine)
+        min_pool_games = min_pool_games_for(engine, config)
     alive_list = alive.tolist()
     clock = time.perf_counter if phases is not None else None
     if phases is not None:
@@ -542,26 +560,9 @@ def lca_round_kernel(
                     out_layer[u] = lay
                 out_count[u] += 1
 
-    if pending and pool is not None and len(pending) >= min_pool_games:
-        positions = np.asarray(pending, dtype=np.int64)
-        transpose_pos = (
-            csr_transpose_positions(offsets, targets) if batched else None
-        )
-        shards = pool.run_games(
-            offsets,
-            targets,
-            alive[positions],
-            positions,
-            x=x,
-            beta=beta,
-            clip=clip,
-            horizon=horizon,
-            scale=scale,
-            want_records=want_records,
-            engine=engine,
-            transpose_pos=transpose_pos,
-            cohort_games=COHORT_GAMES if batched else None,
-        )
+    def _fold_shards(shards):
+        # Shared merge for pool and fabric shard results: every piece is
+        # a commutative min/+ scatter, so arrival order is irrelevant.
         for shard_positions, shard in shards:
             if batched:
                 np.minimum.at(out_layer, shard.fold_vertices, shard.fold_minima)
@@ -582,6 +583,48 @@ def lca_round_kernel(
             if want_records:
                 for i, record in zip(shard_positions.tolist(), shard.records):
                     cache.store(alive_list[i], record)
+
+    if pending and fabric is not None:
+        positions = np.asarray(pending, dtype=np.int64)
+        _fold_shards(fabric.run_round(
+            offsets,
+            targets,
+            alive[positions],
+            positions,
+            x=x,
+            beta=beta,
+            clip=clip,
+            horizon=horizon,
+            scale=scale,
+            want_records=want_records,
+            engine=engine,
+            config=config,
+            comm=comm,
+        ))
+    elif pending and pool is not None and len(pending) >= min_pool_games:
+        positions = np.asarray(pending, dtype=np.int64)
+        transpose_pos = (
+            csr_transpose_positions(offsets, targets) if batched else None
+        )
+        cohort = (
+            COHORT_GAMES if config is None else config.cohort_games
+        )
+        _fold_shards(pool.run_games(
+            offsets,
+            targets,
+            alive[positions],
+            positions,
+            x=x,
+            beta=beta,
+            clip=clip,
+            horizon=horizon,
+            scale=scale,
+            want_records=want_records,
+            engine=engine,
+            transpose_pos=transpose_pos,
+            cohort_games=cohort if batched else None,
+            config=config,
+        ))
     elif pending and batched:
         positions = np.asarray(pending, dtype=np.int64)
         reads, writes, records = run_games_batched_with_fallback(
@@ -589,7 +632,7 @@ def lca_round_kernel(
             x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
             out_layer=out_layer, out_count=out_count,
             want_records=want_records, phases=phases,
-            replay_stats=replay_stats,
+            replay_stats=replay_stats, config=config,
         )
         batch.account_at(positions, reads, writes)
         if want_records:

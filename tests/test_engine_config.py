@@ -1,0 +1,122 @@
+"""EngineConfig: one snapshot of every engine knob, env-overridable.
+
+The knobs keep living as module constants next to the code they tune
+(tests monkeypatch them there); :meth:`EngineConfig.from_env` snapshots
+them at call time with ``REPRO_*`` environment overrides applied, and
+the frozen dataclass threads through kernel, pool, and fabric so one
+run agrees with itself everywhere.  All knobs are throughput/policy
+levers: no observable may depend on any of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.ampc import messaging, pool
+from repro.ampc.engine_config import EngineConfig
+from repro.core import batched_games, columnar_rounds
+from repro.core.beta_partition_ampc import beta_partition_ampc
+from repro.graphs.generators import random_gnm, union_of_random_forests
+
+
+class TestFromEnv:
+    def test_defaults_snapshot_module_constants(self):
+        cfg = EngineConfig.from_env(env={})
+        assert cfg.cohort_games == columnar_rounds.COHORT_GAMES
+        assert cfg.min_pool_games == pool.MIN_POOL_GAMES
+        assert cfg.min_pool_games_batched == pool.MIN_POOL_GAMES_BATCHED
+        assert cfg.replay_cone_cutoff == batched_games.REPLAY_CONE_CUTOFF
+        assert cfg.replay_poor_streak == batched_games.REPLAY_POOR_STREAK
+        assert cfg.message_cap_words == messaging.MESSAGE_CAP_WORDS
+        assert cfg.shard_budget_words is None
+
+    def test_env_overrides_parse_and_win(self):
+        cfg = EngineConfig.from_env(env={
+            "REPRO_COHORT_GAMES": "128",
+            "REPRO_MIN_POOL_GAMES": "7",
+            "REPRO_MIN_POOL_GAMES_BATCHED": "99",
+            "REPRO_REPLAY_CONE_CUTOFF": "0.5",
+            "REPRO_REPLAY_POOR_STREAK": "3",
+            "REPRO_MESSAGE_CAP_WORDS": "4096",
+            "REPRO_SHARD_BUDGET_WORDS": "123456",
+        })
+        assert cfg.cohort_games == 128
+        assert cfg.min_pool_games == 7
+        assert cfg.min_pool_games_batched == 99
+        assert cfg.replay_cone_cutoff == 0.5
+        assert cfg.replay_poor_streak == 3
+        assert cfg.message_cap_words == 4096
+        assert cfg.shard_budget_words == 123456
+
+    def test_blank_values_fall_back(self):
+        cfg = EngineConfig.from_env(env={"REPRO_COHORT_GAMES": "  "})
+        assert cfg.cohort_games == columnar_rounds.COHORT_GAMES
+
+    def test_monkeypatched_constants_flow_through(self, monkeypatch):
+        # Defaults are read at call time, so tests that pin a module
+        # constant see their pin honored by from_env().
+        monkeypatch.setattr(columnar_rounds, "COHORT_GAMES", 77)
+        monkeypatch.setattr(batched_games, "REPLAY_CONE_CUTOFF", 0.9)
+        cfg = EngineConfig.from_env(env={})
+        assert cfg.cohort_games == 77
+        assert cfg.replay_cone_cutoff == 0.9
+
+    def test_frozen_and_with_overrides(self):
+        cfg = EngineConfig.from_env(env={})
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.cohort_games = 1
+        alt = cfg.with_overrides(cohort_games=5, shard_budget_words=42)
+        assert alt.cohort_games == 5
+        assert alt.shard_budget_words == 42
+        assert cfg.cohort_games == columnar_rounds.COHORT_GAMES
+
+
+class TestThreading:
+    def test_min_pool_games_for_prefers_config(self):
+        cfg = EngineConfig.from_env(env={}).with_overrides(
+            min_pool_games=11, min_pool_games_batched=22
+        )
+        assert pool.min_pool_games_for("scalar", cfg) == 11
+        assert pool.min_pool_games_for("batched", cfg) == 22
+        assert pool.min_pool_games_for("scalar") == pool.MIN_POOL_GAMES
+        assert (
+            pool.min_pool_games_for("batched") == pool.MIN_POOL_GAMES_BATCHED
+        )
+
+    def test_knobs_do_not_change_observables(self):
+        # A deliberately odd cohort size and replay gate must be
+        # invisible: bit-identical partitions and per-round stats.
+        g = random_gnm(80, 160, seed=5)
+        base = beta_partition_ampc(g, 5, store="columnar")
+        tuned = beta_partition_ampc(
+            g, 5, store="columnar",
+            config=EngineConfig.from_env().with_overrides(
+                cohort_games=3, replay_cone_cutoff=0.01, replay_poor_streak=1
+            ),
+        )
+        assert tuned.partition.layers == base.partition.layers
+        for ra, rb in zip(
+            base.simulator.stats.rounds, tuned.simulator.stats.rounds
+        ):
+            assert (ra.total_reads, ra.total_writes, ra.store_words) == (
+                rb.total_reads, rb.total_writes, rb.store_words
+            )
+
+    def test_env_shard_budget_reaches_the_guard(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BUDGET_WORDS", "50")
+        g = union_of_random_forests(200, 1, seed=7)
+        with pytest.raises(messaging.MemoryGuardError):
+            beta_partition_ampc(
+                g, 3, x=4, store="columnar", transport="message", shards=2
+            )
+
+    def test_explicit_budget_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BUDGET_WORDS", "50")
+        g = union_of_random_forests(40, 1, seed=1)
+        out = beta_partition_ampc(
+            g, 3, x=4, store="columnar", transport="message", shards=2,
+            shard_budget=10**9,
+        )
+        assert out.max_held_words > 50  # env budget would have tripped

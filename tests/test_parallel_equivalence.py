@@ -116,6 +116,15 @@ class TestDifferentialMatrix:
         g = complete_ary_tree(beta + 1, 4)
         oracle = _run_matrix(g, beta, x=beta + 1)
         assert oracle.rounds >= 2
+        # The fourth knob: transport="message" joins the matrix on this
+        # multi-round shape (full shard sweeps live in the fabric tests).
+        for engine, shards in (("batched", 3), ("scalar", 2)):
+            candidate = beta_partition_ampc(
+                g, beta, x=beta + 1, store="columnar", engine=engine,
+                transport="message", shards=shards,
+            )
+            assert candidate.transport == "message"
+            _assert_outcomes_equivalent(oracle, candidate)
 
     def test_preferential_attachment_hubs(self):
         g = preferential_attachment(150, 2, seed=11)
@@ -245,6 +254,15 @@ class TestGameCache:
         pooled = beta_partition_ampc(g, 1, x=2, store="columnar", workers=2)
         assert pooled.game_cache_hits > 0
         _assert_outcomes_equivalent(oracle, pooled)
+
+    def test_cache_hits_with_message_fabric_match_too(self):
+        g = path_graph(40)
+        oracle = beta_partition_ampc(g, 1, x=2, store="dict")
+        sharded = beta_partition_ampc(
+            g, 1, x=2, store="columnar", transport="message", shards=3
+        )
+        assert sharded.game_cache_hits > 0
+        _assert_outcomes_equivalent(oracle, sharded)
 
     def test_dict_oracle_reports_no_cache(self):
         g = path_graph(12)
