@@ -47,6 +47,12 @@ class EngineConfig:
     replay_poor_streak: int
     message_cap_words: int
     shard_budget_words: int | None = None
+    # Game engine when the caller passes engine=None: "batched",
+    # "compiled", or "scalar" (``REPRO_ENGINE``); None keeps the
+    # built-in default ("batched").  Engine choice never changes
+    # observables — the compiled kernel is bit-identical by contract —
+    # so an env override is as safe as the throughput knobs above.
+    engine: str | None = None
 
     @classmethod
     def from_env(cls, env: Mapping[str, str] | None = None) -> "EngineConfig":
@@ -91,6 +97,7 @@ class EngineConfig:
                 "REPRO_MESSAGE_CAP_WORDS", messaging.MESSAGE_CAP_WORDS, int
             ),
             shard_budget_words=get("REPRO_SHARD_BUDGET_WORDS", None, int),
+            engine=get("REPRO_ENGINE", None, str),
         )
 
     def with_overrides(self, **changes) -> "EngineConfig":

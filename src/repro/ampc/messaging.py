@@ -396,7 +396,7 @@ class _ShardRound:
     # -- one sub-round of play --------------------------------------------
 
     def play(self, params: dict, config) -> None:
-        if self.engine == "batched":
+        if self.engine in ("batched", "compiled"):
             self._play_batched(params, config)
         else:
             self._play_scalar(params)
@@ -486,6 +486,14 @@ class _ShardRound:
 
         from repro.core.batched_games import csr_transpose_positions
 
+        if self.engine == "compiled":
+            from repro.core.native import play_games_compiled
+
+            play_cohort = play_games_compiled
+            transpose = None
+        else:
+            play_cohort = play_games_batched
+            transpose = csr_transpose_positions(offsets_l, targets_l)
         roots_l = np.searchsorted(universe, roots_g)
         out_layer = np.full(u_count, _INF)
         out_count = np.zeros(u_count, dtype=np.int64)
@@ -494,13 +502,12 @@ class _ShardRound:
         writes = np.zeros(k, dtype=np.int64)
         records: list = [None] * k
         ejected_flags = np.zeros(k, dtype=bool)
-        transpose = csr_transpose_positions(offsets_l, targets_l)
         block = config.cohort_games
         arena_hint = [0, 0]
         ejected: list[int] = []
         for start in range(0, k, block):
             stop = min(start + block, k)
-            info = play_games_batched(
+            info = play_cohort(
                 offsets_l, targets_l, roots_l[start:stop],
                 x=params["x"], beta=params["beta"], clip=params["clip"],
                 horizon=params["horizon"], scale=params["scale"],

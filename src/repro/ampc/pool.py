@@ -112,13 +112,14 @@ def min_pool_games_for(engine: str, config=None) -> int:
     supplies the run's pinned thresholds; None reads the module
     constants above.
     """
+    array_engine = engine in ("batched", "compiled")
     if config is not None:
         return (
             config.min_pool_games_batched
-            if engine == "batched"
+            if array_engine
             else config.min_pool_games
         )
-    return MIN_POOL_GAMES_BATCHED if engine == "batched" else MIN_POOL_GAMES
+    return MIN_POOL_GAMES_BATCHED if array_engine else MIN_POOL_GAMES
 
 
 class WorkerPoolError(RuntimeError):
@@ -266,10 +267,11 @@ def _play_shard(
 ):
     """Run one shard of coin-game machines inside a worker process.
 
-    With ``engine="batched"`` the shard is a game-index slice of the
-    round's fleet run through the lockstep engine against the shared
-    CSR; with ``engine="scalar"`` each game is interpreted one at a
-    time.  Both report the identical :class:`ShardResult` shape.
+    With ``engine="batched"`` or ``"compiled"`` the shard is a
+    game-index slice of the round's fleet run through the lockstep (or
+    fused-C) engine against the shared CSR; with ``engine="scalar"``
+    each game is interpreted one at a time.  All report the identical
+    :class:`ShardResult` shape.
     """
     fault = os.environ.get(_FAULT_ENV, "")
     if fault == "raise":
@@ -277,7 +279,7 @@ def _play_shard(
     if fault == "exit":  # pragma: no cover - exercised via subprocess
         os._exit(17)
     x, beta, clip, horizon, scale, want_records, engine, config = params
-    if engine == "batched":
+    if engine in ("batched", "compiled"):
         from repro.core.columnar_rounds import run_games_batched_with_fallback
 
         offsets, targets = _load_csr(*csr_meta[:4])
@@ -291,9 +293,13 @@ def _play_shard(
                 x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
                 out_layer=out_layer_arr, out_count=out_count_arr,
                 want_records=want_records,
-                transpose_pos=_load_transpose(csr_meta),
+                transpose_pos=(
+                    _load_transpose(csr_meta)
+                    if engine == "batched" else None
+                ),
                 replay_stats=replay_stats,
                 config=config,
+                engine=engine,
             )
         fold_vertices = np.flatnonzero(out_count_arr)
         fold_minima = out_layer_arr[fold_vertices]
@@ -410,8 +416,9 @@ class CoinGamePool:
         array; the return value pairs every shard's position slice with
         its :class:`ShardResult` so the caller can scatter accounting and
         fold layer deltas (both order-independent operations).
-        ``engine`` selects the per-shard execution (lockstep ``"batched"``
-        kernels or the one-game-at-a-time ``"scalar"`` interpreter).
+        ``engine`` selects the per-shard execution (lockstep
+        ``"batched"`` kernels, the fused-C ``"compiled"`` cohort player,
+        or the one-game-at-a-time ``"scalar"`` interpreter).
 
         ``cohort_games`` shards the fleet at cohort granularity when it
         spans more than one whole cohort per worker: shard boundaries

@@ -50,6 +50,7 @@ from repro.ampc.machine import MachineContext
 from repro.ampc.messaging import MessageFabric
 from repro.ampc.pool import defer_full_gc, resolve_workers, shared_pool
 from repro.ampc.simulator import AMPCSimulator
+from repro.core import native
 from repro.core.batched_games import replay_cone_fraction
 from repro.core.columnar_rounds import (
     GameCache,
@@ -81,7 +82,7 @@ class BetaPartitionOutcome:
     unlayered_per_round: list[int] = field(default_factory=list)
     workers: int = 1  # worker processes the lca rounds sharded across
     game_cache_hits: int = 0  # coin games replayed from the cross-round cache
-    engine: str = "scalar"  # coin-game execution: "batched" or "scalar"
+    engine: str = "scalar"  # execution: "batched", "compiled" or "scalar"
     transport: str = "shm"  # sharding fabric: "shm" (shared CSR) or "message"
     shards: int = 0  # message-fabric shard count (0 under transport="shm")
     # transport="message": one dict per lca round with the fabric's typed
@@ -205,11 +206,16 @@ def beta_partition_ampc(
     engine:
         Coin-game execution for the columnar lca rounds: ``"batched"``
         (the default — all of a round's games advance in lockstep as
-        array kernels, :mod:`repro.core.batched_games`) or ``"scalar"``
+        array kernels, :mod:`repro.core.batched_games`),
+        ``"compiled"`` (each cohort fused into one C pass,
+        :mod:`repro.core.native`; silently-but-warned downgraded to
+        ``"batched"`` when the kernel cannot load — the outcome's
+        ``engine`` field reports what actually ran) or ``"scalar"``
         (one adaptive Python interpretation per game, the PR 2/3 engine
-        kept verbatim as the oracle).  A pure throughput knob — every
-        observable is bit-identical.  The dict-backed store ignores it
-        (its machines always run the per-vertex
+        kept verbatim as the oracle).  None reads ``$REPRO_ENGINE``
+        before falling back to ``"batched"``.  A pure throughput knob —
+        every observable is bit-identical.  The dict-backed store
+        ignores it (its machines always run the per-vertex
         :class:`~repro.lca.coin_game.CoinDroppingGame`).
     min_pool_games:
         Rounds with fewer pending games than this run in-process even
@@ -251,9 +257,8 @@ def beta_partition_ampc(
         raise ValueError("beta must be >= 1")
     if store not in ("columnar", "dict"):
         raise ValueError('store must be "columnar" or "dict"')
-    if engine not in (None, "batched", "scalar"):
-        raise ValueError('engine must be "batched" or "scalar"')
-    engine = engine or "batched"
+    if engine not in (None, "batched", "compiled", "scalar"):
+        raise ValueError('engine must be "batched", "compiled" or "scalar"')
     if transport not in ("shm", "message"):
         raise ValueError('transport must be "shm" or "message"')
     if transport == "message" and store != "columnar":
@@ -264,6 +269,19 @@ def beta_partition_ampc(
     workers = resolve_workers(workers)
     if config is None:
         config = EngineConfig.from_env()
+    if engine is None and config.engine is not None:
+        if config.engine not in ("batched", "compiled", "scalar"):
+            raise ValueError(
+                'REPRO_ENGINE must be "batched", "compiled" or "scalar"'
+            )
+        engine = config.engine
+    engine = engine or "batched"
+    if engine == "compiled" and not native.available():
+        # Graceful degradation: the numpy oracle is bit-identical, so
+        # only throughput changes.  The outcome reports the engine that
+        # actually ran.
+        native.warn_fallback("beta_partition_ampc")
+        engine = "batched"
     if shard_budget is None:
         shard_budget = config.shard_budget_words
     n = graph.num_vertices

@@ -371,16 +371,20 @@ def run_games_batched_with_fallback(
     transpose_pos: np.ndarray | None = None,
     replay_stats: dict | None = None,
     config=None,
+    engine: str = "batched",
 ) -> tuple[np.ndarray, np.ndarray, list | None]:
-    """The lockstep engine plus its per-game scalar escape hatch.
+    """An array engine plus its per-game scalar escape hatch.
 
-    Games the batched engine ejects (coin scales past the machine-word
+    Games the array engine ejects (coin scales past the machine-word
     budget — see :mod:`repro.core.batched_games`) replay through
     :func:`play_coin_game`, whose fixed-scale Python integers widen to
     bigints (or Fractions for deep horizons); both paths fold into the
     same ``out_layer``/``out_count`` accumulators.  ``transpose_pos``
     lets callers that run many fleets against one residual CSR (pool
-    workers, chiefly) reuse the per-round transpose map.
+    workers, chiefly) reuse the per-round transpose map.  ``engine``
+    picks the cohort player: ``"batched"`` (numpy lockstep) or
+    ``"compiled"`` (the fused C kernel of :mod:`repro.core.native`,
+    bit-identical, no transpose map needed).
     """
     # Cohort blocking: the engine's state is gathered/scattered millions
     # of times per round, and a whole-fleet arena (hundreds of MB at
@@ -396,12 +400,18 @@ def run_games_batched_with_fallback(
     all_writes = np.zeros(num_games, dtype=np.int64)
     records: list | None = [None] * num_games if want_records else None
     ejected: list[int] = []
-    if transpose_pos is None:
-        transpose_pos = csr_transpose_positions(offsets, targets)
+    if engine == "compiled":
+        from repro.core.native import play_games_compiled
+
+        play_cohort = play_games_compiled
+    else:
+        play_cohort = play_games_batched
+        if transpose_pos is None:
+            transpose_pos = csr_transpose_positions(offsets, targets)
     arena_hint = [0, 0]
     for start in range(0, num_games, block):
         stop = min(start + block, num_games)
-        info = play_games_batched(
+        info = play_cohort(
             offsets, targets, roots[start:stop],
             x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
             out_layer=out_layer, out_count=out_count,
@@ -452,8 +462,10 @@ def lca_round_kernel(
 
     ``engine`` selects how the fleet's games execute: ``"batched"`` runs
     them in lockstep as array kernels (:mod:`repro.core.batched_games`),
-    ``"scalar"`` interprets them one at a time (:func:`play_coin_game`,
-    the PR 2/3 engine, kept verbatim as the oracle).  ``cache`` (a
+    ``"compiled"`` plays each cohort in one fused C pass
+    (:mod:`repro.core.native`, bit-identical to batched), ``"scalar"``
+    interprets them one at a time (:func:`play_coin_game`, the PR 2/3
+    engine, kept verbatim as the oracle).  ``cache`` (a
     :class:`GameCache`) replays memoized games whose explored view is
     unchanged since the previous round; ``pool`` (a
     :class:`repro.ampc.pool.CoinGamePool`) shards the remaining fleet
@@ -501,7 +513,11 @@ def lca_round_kernel(
     alive_list = alive.tolist()
     clock = time.perf_counter if phases is not None else None
     if phases is not None:
-        for key in ("cache", "explore", "forward", "fold"):
+        keys = (
+            ("cache", "native", "fold") if engine == "compiled"
+            else ("cache", "explore", "forward", "fold")
+        )
+        for key in keys:
             phases.setdefault(key, 0.0)
     replay_stats: dict | None = reuse if reuse is not None else None
     if replay_stats is not None:
@@ -544,7 +560,9 @@ def lca_round_kernel(
     if clock:
         phases["cache"] = phases.get("cache", 0.0) + clock() - t0
 
-    batched = engine == "batched"
+    # Both array engines share the ndarray accumulators and dispatch
+    # branches; only the numpy lockstep engine wants the transpose map.
+    batched = engine in ("batched", "compiled")
     if batched:
         out_layer: object = np.full(n, _INF)
         out_count: object = np.zeros(n, dtype=np.int64)
@@ -604,7 +622,8 @@ def lca_round_kernel(
     elif pending and pool is not None and len(pending) >= min_pool_games:
         positions = np.asarray(pending, dtype=np.int64)
         transpose_pos = (
-            csr_transpose_positions(offsets, targets) if batched else None
+            csr_transpose_positions(offsets, targets)
+            if engine == "batched" else None
         )
         cohort = (
             COHORT_GAMES if config is None else config.cohort_games
@@ -632,7 +651,7 @@ def lca_round_kernel(
             x=x, beta=beta, clip=clip, horizon=horizon, scale=scale,
             out_layer=out_layer, out_count=out_count,
             want_records=want_records, phases=phases,
-            replay_stats=replay_stats, config=config,
+            replay_stats=replay_stats, config=config, engine=engine,
         )
         batch.account_at(positions, reads, writes)
         if want_records:

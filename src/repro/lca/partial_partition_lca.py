@@ -58,8 +58,10 @@ class PartialPartitionLCA:
     :meth:`query_all` executes its queries: ``"batched"`` (the default)
     runs every game in one lockstep sweep over the graph's CSR
     (:mod:`repro.core.batched_games` — the same kernels the Theorem 1.2
-    lca rounds run), ``"scalar"`` replays the per-vertex
-    :class:`~repro.lca.coin_game.CoinDroppingGame` oracle.  Both produce
+    lca rounds run), ``"compiled"`` plays each cohort in one fused C
+    pass (:mod:`repro.core.native`; warned downgrade to ``"batched"``
+    when the kernel cannot load), ``"scalar"`` replays the per-vertex
+    :class:`~repro.lca.coin_game.CoinDroppingGame` oracle.  All produce
     identical results — layers, proofs, explored sets, probe counts —
     and strict-mode queries always take the scalar path (its unbounded
     forwarding horizon is the oracle's own regime).
@@ -78,8 +80,16 @@ class PartialPartitionLCA:
     last_replay_stats: dict | None = None
 
     def __post_init__(self) -> None:
-        if self.engine not in ("batched", "scalar"):
-            raise ValueError('engine must be "batched" or "scalar"')
+        if self.engine not in ("batched", "compiled", "scalar"):
+            raise ValueError(
+                'engine must be "batched", "compiled" or "scalar"'
+            )
+        if self.engine == "compiled":
+            from repro.core import native
+
+            if not native.available():
+                native.warn_fallback("PartialPartitionLCA")
+                self.engine = "batched"
 
     def query(self, v: int) -> CoinGameResult:
         """Answer an LCA query about vertex v (fresh probe accounting)."""
@@ -99,7 +109,10 @@ class PartialPartitionLCA:
         if vertices is None:
             vertices = self.graph.vertices()
         vertices = list(vertices)
-        if self.engine == "batched" and not self.strict and vertices:
+        if (
+            self.engine in ("batched", "compiled")
+            and not self.strict and vertices
+        ):
             return self._query_all_batched(vertices)
         results = {v: self.query(v) for v in vertices}
         merged = merge_min([r.proof for r in results.values()])
@@ -134,14 +147,21 @@ class PartialPartitionLCA:
         out_layer = np.full(n, float("inf"))
         out_count = np.zeros(n, dtype=np.int64)
         roots = np.asarray(vertices, dtype=np.int64)
-        transpose_pos = csr_transpose_positions(offsets, targets)
+        if self.engine == "compiled":
+            from repro.core.native import play_games_compiled
+
+            play_cohort = play_games_compiled
+            transpose_pos = None
+        else:
+            play_cohort = play_games_batched
+            transpose_pos = csr_transpose_positions(offsets, targets)
         records: list = []
         super_iterations: list[np.ndarray] = []
         edges_seen: list[np.ndarray] = []
         ejected: set[int] = set()
         replay_stats: dict = {}
         for start in range(0, len(roots), COHORT_GAMES):
-            block = play_games_batched(
+            block = play_cohort(
                 offsets, targets, roots[start:start + COHORT_GAMES],
                 x=self.x, beta=self.beta, clip=clip, horizon=horizon,
                 scale=scale, out_layer=out_layer, out_count=out_count,

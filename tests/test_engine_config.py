@@ -54,6 +54,24 @@ class TestFromEnv:
         cfg = EngineConfig.from_env(env={"REPRO_COHORT_GAMES": "  "})
         assert cfg.cohort_games == columnar_rounds.COHORT_GAMES
 
+    def test_engine_env_override(self):
+        assert EngineConfig.from_env(env={}).engine is None
+        cfg = EngineConfig.from_env(env={"REPRO_ENGINE": "scalar"})
+        assert cfg.engine == "scalar"
+
+    def test_repro_engine_selects_engine(self, monkeypatch):
+        # engine=None reads REPRO_ENGINE; an explicit engine= wins.
+        g = random_gnm(60, 120, seed=3)
+        monkeypatch.setenv("REPRO_ENGINE", "scalar")
+        out = beta_partition_ampc(g, 9, store="columnar")
+        assert out.engine == "scalar"
+        explicit = beta_partition_ampc(g, 9, store="columnar",
+                                       engine="batched")
+        assert explicit.engine == "batched"
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+            beta_partition_ampc(g, 9, store="columnar")
+
     def test_monkeypatched_constants_flow_through(self, monkeypatch):
         # Defaults are read at call time, so tests that pin a module
         # constant see their pin honored by from_env().
@@ -80,9 +98,14 @@ class TestThreading:
         )
         assert pool.min_pool_games_for("scalar", cfg) == 11
         assert pool.min_pool_games_for("batched", cfg) == 22
+        assert pool.min_pool_games_for("compiled", cfg) == 22
         assert pool.min_pool_games_for("scalar") == pool.MIN_POOL_GAMES
         assert (
             pool.min_pool_games_for("batched") == pool.MIN_POOL_GAMES_BATCHED
+        )
+        assert (
+            pool.min_pool_games_for("compiled")
+            == pool.MIN_POOL_GAMES_BATCHED
         )
 
     def test_knobs_do_not_change_observables(self):

@@ -29,7 +29,7 @@ from repro.ampc.messaging import (
     MessageFabric,
     owner_of,
 )
-from repro.core import batched_games
+from repro.core import batched_games, native
 from repro.core.beta_partition_ampc import beta_partition_ampc
 from repro.graphs.generators import (
     complete_ary_tree,
@@ -146,6 +146,22 @@ class TestShardCountInvariance:
             )
             _assert_equivalent(oracle, msg)
 
+    @pytest.mark.skipif(
+        not native.available(), reason="compiled wave kernel unavailable"
+    )
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=2, deadline=None)
+    def test_randomized_transport_matrix_compiled(self, seed):
+        g = union_of_random_forests(60, 1, seed=seed)
+        oracle = beta_partition_ampc(g, 3, x=4, store="dict")
+        for shards in SHARD_MATRIX:
+            msg = beta_partition_ampc(
+                g, 3, x=4, store="columnar", engine="compiled",
+                transport="message", shards=shards,
+            )
+            assert msg.engine == "compiled"
+            _assert_equivalent(oracle, msg)
+
     def test_gnm_with_default_budget_games(self):
         # Denser shape at the default x = (β+1)²: deeper balls, several
         # ghost-exchange sub-rounds per round.
@@ -193,6 +209,23 @@ class TestShardCountInvariance:
         oracle = beta_partition_ampc(g, 6, store="dict")
         msg = beta_partition_ampc(
             g, 6, store="columnar", transport="message", shards=3
+        )
+        assert sum(c.get("ejected_games", 0) for c in msg.round_comm) > 0
+        _assert_equivalent(oracle, msg)
+
+    @pytest.mark.skipif(
+        not native.available(), reason="compiled wave kernel unavailable"
+    )
+    def test_bigint_ejected_game_under_message_compiled(self, monkeypatch):
+        # Same adversarial budget through the fused C kernel: its
+        # division-guarded escalation must eject the identical game set
+        # and the shard replays them scalar-side, bit for bit.
+        monkeypatch.setattr(batched_games, "SCALE_LIMIT", 1 << 24)
+        g = preferential_attachment(150, 2, seed=11)
+        oracle = beta_partition_ampc(g, 6, store="dict")
+        msg = beta_partition_ampc(
+            g, 6, store="columnar", engine="compiled",
+            transport="message", shards=3,
         )
         assert sum(c.get("ejected_games", 0) for c in msg.round_comm) > 0
         _assert_equivalent(oracle, msg)

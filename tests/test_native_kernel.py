@@ -1,0 +1,191 @@
+"""Direct differential tests of the fused C wave kernel.
+
+``repro.core.native.play_games_compiled`` must be a bit-identical
+drop-in for ``play_games_batched`` — fold accumulators, probe counts,
+records (explored sets in exploration order + clipped proofs),
+super-iteration counts, inside-edge counts, and the ejection set all
+byte-for-byte, including under adversarial word budgets that force
+mid-game ejections and the Fraction deep-horizon regime.  Skip-marked
+wholesale when the kernel cannot load (tier-1 must pass without it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import batched_games, native
+from repro.core.batched_games import (
+    csr_transpose_positions,
+    play_games_batched,
+)
+from repro.core.beta_partition_ampc import beta_partition_ampc
+from repro.graphs.generators import (
+    path_graph,
+    preferential_attachment,
+    random_gnm,
+    star_graph,
+    union_of_random_forests,
+)
+
+pytestmark = pytest.mark.skipif(
+    not native.available(), reason="compiled wave kernel unavailable"
+)
+
+_INF = float("inf")
+
+
+def _run_both(offsets, targets, roots, **game):
+    n = len(offsets) - 1
+    layer_b = np.full(n, _INF)
+    count_b = np.zeros(n, dtype=np.int64)
+    layer_c = np.full(n, _INF)
+    count_c = np.zeros(n, dtype=np.int64)
+    batched = play_games_batched(
+        offsets, targets, roots, out_layer=layer_b, out_count=count_b,
+        want_records=True,
+        transpose_pos=csr_transpose_positions(offsets, targets), **game
+    )
+    compiled = native.play_games_compiled(
+        offsets, targets, roots, out_layer=layer_c, out_count=count_c,
+        want_records=True, **game
+    )
+    assert np.array_equal(layer_b, layer_c)
+    assert np.array_equal(count_b, count_c)
+    for field in (
+        "reads", "writes", "super_iterations", "edges_seen", "ejected",
+    ):
+        assert np.array_equal(
+            getattr(batched, field), getattr(compiled, field)
+        ), field
+    assert batched.records == compiled.records
+    return batched, compiled
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_gnm(self, seed):
+        g = random_gnm(120, 240, seed=seed)
+        offsets, targets = g.csr()
+        roots = np.arange(g.num_vertices, dtype=np.int64)
+        _run_both(
+            offsets, targets, roots,
+            x=100, beta=9, clip=2, horizon=16, scale=None,
+        )
+
+    def test_hub_heavy_forwarding_sets(self):
+        # Hubs with deg > beta+1 exercise the sigma-ranked top-(beta+1)
+        # selection and the per-super-iteration fset cache.
+        g = preferential_attachment(200, 3, seed=4)
+        offsets, targets = g.csr()
+        roots = np.arange(g.num_vertices, dtype=np.int64)
+        _run_both(
+            offsets, targets, roots,
+            x=49, beta=6, clip=2, horizon=16, scale=None,
+        )
+
+    def test_star_graph_huge_beta(self):
+        # beta+1 > 36: the numpy engine folds escalation factors through
+        # Python bigint lcm; the C kernel's incremental int64 lcm with
+        # division guards must land on the same transcripts.
+        g = star_graph(50)
+        offsets, targets = g.csr()
+        roots = np.arange(g.num_vertices, dtype=np.int64)
+        _run_both(
+            offsets, targets, roots,
+            x=1681, beta=40, clip=1, horizon=12, scale=None,
+        )
+
+    def test_forests_with_explicit_scale(self):
+        g = union_of_random_forests(80, 2, seed=9)
+        offsets, targets = g.csr()
+        roots = np.arange(g.num_vertices, dtype=np.int64)
+        _run_both(
+            offsets, targets, roots,
+            x=4, beta=3, clip=1, horizon=12, scale=12,
+        )
+
+    def test_empty_roots(self):
+        g = path_graph(4)
+        offsets, targets = g.csr()
+        info = native.play_games_compiled(
+            offsets, targets, np.empty(0, dtype=np.int64),
+            x=4, beta=2, clip=1, horizon=12, scale=12,
+            out_layer=np.full(4, _INF),
+            out_count=np.zeros(4, dtype=np.int64),
+        )
+        assert not info.reads.size and not info.ejected.size
+
+
+class TestEjectionParity:
+    def test_mixed_ejections_identical(self, monkeypatch):
+        # A shrunken word budget ejects an x-dependent subset of the
+        # fleet mid-game: the ejected *set*, the rollback (zeroed
+        # outputs, None records), and every surviving game's transcript
+        # must match the numpy engine exactly.
+        monkeypatch.setattr(batched_games, "SCALE_LIMIT", 1 << 24)
+        g = preferential_attachment(150, 2, seed=11)
+        offsets, targets = g.csr()
+        roots = np.arange(g.num_vertices, dtype=np.int64)
+        batched, compiled = _run_both(
+            offsets, targets, roots,
+            x=64, beta=6, clip=3, horizon=20, scale=None,
+        )
+        assert 0 < batched.ejected.size < len(roots)
+        for gi in batched.ejected.tolist():
+            assert compiled.records[gi] is None
+            assert compiled.reads[gi] == 0
+            assert compiled.super_iterations[gi] == 0
+
+    def test_all_ejected_when_no_scale_fits(self):
+        # x so large that scale_cap < 1: the compiled wrapper delegates
+        # to the batched all-ejected early path, so the whole fleet
+        # takes the scalar escape hatch on both engines.
+        g = path_graph(4)
+        offsets, targets = g.csr()
+        roots = np.arange(4, dtype=np.int64)
+        batched, compiled = _run_both(
+            offsets, targets, roots,
+            x=2**61, beta=1, clip=1, horizon=12, scale=None,
+        )
+        assert batched.ejected.size == 4
+        assert compiled.ejected.size == 4
+
+
+class TestEndToEndEngines:
+    def test_partition_compiled_vs_oracle(self):
+        g = random_gnm(300, 600, seed=21)
+        oracle = beta_partition_ampc(g, 9, store="dict")
+        compiled = beta_partition_ampc(g, 9, store="columnar",
+                                       engine="compiled")
+        assert compiled.engine == "compiled"
+        assert compiled.partition.layers == oracle.partition.layers
+        assert compiled.rounds == oracle.rounds
+
+    def test_fraction_deep_horizon_partition(self):
+        # x = 2^15 at beta = 1 pushes past INT_COIN_HORIZON_CAP: every
+        # game ejects to the Fraction scalar path under both engines.
+        g = path_graph(10)
+        oracle = beta_partition_ampc(g, 1, x=2**15, store="dict")
+        compiled = beta_partition_ampc(
+            g, 1, x=2**15, store="columnar", engine="compiled"
+        )
+        assert compiled.partition.layers == oracle.partition.layers
+
+    def test_lca_query_all_compiled(self):
+        from repro.lca.partial_partition_lca import PartialPartitionLCA
+
+        g = preferential_attachment(120, 2, seed=5)
+        ref = PartialPartitionLCA(g, x=49, beta=6, engine="batched")
+        lca = PartialPartitionLCA(g, x=49, beta=6, engine="compiled")
+        merged_ref, results_ref = ref.query_all()
+        merged, results = lca.query_all()
+        assert merged.layers == merged_ref.layers
+        for v, res in results_ref.items():
+            got = results[v]
+            assert got.layer == res.layer
+            assert got.explored == res.explored
+            assert got.proof.layers == res.proof.layers
+            assert got.queries == res.queries
+            assert got.super_iterations == res.super_iterations
+            assert got.edges_seen == res.edges_seen

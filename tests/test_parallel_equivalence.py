@@ -25,6 +25,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import native
 from repro.core.beta_partition_ampc import beta_partition_ampc
 from repro.graphs.generators import (
     complete_ary_tree,
@@ -71,11 +72,16 @@ def _run_matrix(graph, beta, **kwargs):
     so the worker legs genuinely exercise the sharded path.
     """
     oracle = beta_partition_ampc(graph, beta, store="dict", workers=1, **kwargs)
-    for store, engine in (
+    legs = [
         ("dict", None),
         ("columnar", "batched"),
         ("columnar", "scalar"),
-    ):
+    ]
+    if native.available():
+        # The fused C kernel joins the matrix wherever it can load; its
+        # dedicated skip-marked tests live in test_native_kernel.py.
+        legs.append(("columnar", "compiled"))
+    for store, engine in legs:
         for workers in WORKER_MATRIX:
             if store == "dict" and workers == 1:
                 continue
@@ -118,7 +124,10 @@ class TestDifferentialMatrix:
         assert oracle.rounds >= 2
         # The fourth knob: transport="message" joins the matrix on this
         # multi-round shape (full shard sweeps live in the fabric tests).
-        for engine, shards in (("batched", 3), ("scalar", 2)):
+        message_legs = [("batched", 3), ("scalar", 2)]
+        if native.available():
+            message_legs.append(("compiled", 3))
+        for engine, shards in message_legs:
             candidate = beta_partition_ampc(
                 g, beta, x=beta + 1, store="columnar", engine=engine,
                 transport="message", shards=shards,
