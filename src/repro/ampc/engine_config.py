@@ -29,6 +29,40 @@ from typing import Mapping
 
 __all__ = ["EngineConfig"]
 
+# Engine names an env override may select; beta_partition_ampc accepts
+# the same set (plus None) for explicitly constructed configs.
+_ENGINE_NAMES = ("scalar", "batched", "compiled")
+
+
+def _env_int(name: str, raw: str, minimum: int) -> int:
+    """Parse an integer env override, naming the variable on any error."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name}={raw!r} is not an integer"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"{name}={raw!r} must be >= {minimum}")
+    return value
+
+
+def _env_float(name: str, raw: str, low: float, high: float) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name}={raw!r} is not a number") from None
+    if not (low <= value <= high):
+        raise ValueError(f"{name}={raw!r} must be in [{low}, {high}]")
+    return value
+
+
+def _env_engine(name: str, raw: str) -> str:
+    if raw not in _ENGINE_NAMES:
+        choices = ", ".join(f'"{e}"' for e in _ENGINE_NAMES)
+        raise ValueError(f"{name}={raw!r} must be one of {choices}")
+    return raw
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -61,6 +95,12 @@ class EngineConfig:
         Defaults are read from the owning modules *at call time*, so a
         test that monkeypatches e.g. ``columnar_rounds.COHORT_GAMES``
         before running a partition sees its patch honored here.
+
+        Every override is validated at parse time — a zero or negative
+        cohort size, a non-numeric value, or a misspelled engine name
+        raises a :class:`ValueError` naming the offending variable and
+        value here, instead of failing deep inside the engine (or
+        silently degenerating) rounds later.
         """
         # Imported lazily: repro.core imports repro.ampc, so a top-level
         # import back into core would be cyclic.
@@ -70,34 +110,40 @@ class EngineConfig:
         if env is None:
             env = os.environ
 
-        def get(name: str, default, cast):
+        def get(name: str, default, parse, *args):
             raw = env.get(name, "").strip()
-            return cast(raw) if raw else default
+            return parse(name, raw, *args) if raw else default
 
         return cls(
             cohort_games=get(
-                "REPRO_COHORT_GAMES", columnar_rounds.COHORT_GAMES, int
+                "REPRO_COHORT_GAMES", columnar_rounds.COHORT_GAMES,
+                _env_int, 1,
             ),
             min_pool_games=get(
-                "REPRO_MIN_POOL_GAMES", pool.MIN_POOL_GAMES, int
+                "REPRO_MIN_POOL_GAMES", pool.MIN_POOL_GAMES, _env_int, 1
             ),
             min_pool_games_batched=get(
                 "REPRO_MIN_POOL_GAMES_BATCHED", pool.MIN_POOL_GAMES_BATCHED,
-                int,
+                _env_int, 1,
             ),
             replay_cone_cutoff=get(
                 "REPRO_REPLAY_CONE_CUTOFF", batched_games.REPLAY_CONE_CUTOFF,
-                float,
+                _env_float, 0.0, 1.0,
             ),
             replay_poor_streak=get(
                 "REPRO_REPLAY_POOR_STREAK", batched_games.REPLAY_POOR_STREAK,
-                int,
+                _env_int, 1,
             ),
             message_cap_words=get(
-                "REPRO_MESSAGE_CAP_WORDS", messaging.MESSAGE_CAP_WORDS, int
+                "REPRO_MESSAGE_CAP_WORDS", messaging.MESSAGE_CAP_WORDS,
+                # >= 4: one row-resolution header must fit in a segment
+                # (the same floor MessageFabric enforces).
+                _env_int, 4,
             ),
-            shard_budget_words=get("REPRO_SHARD_BUDGET_WORDS", None, int),
-            engine=get("REPRO_ENGINE", None, str),
+            shard_budget_words=get(
+                "REPRO_SHARD_BUDGET_WORDS", None, _env_int, 1
+            ),
+            engine=get("REPRO_ENGINE", None, _env_engine),
         )
 
     def with_overrides(self, **changes) -> "EngineConfig":

@@ -112,9 +112,61 @@ Ghost-fringe invalidation rules
     a ghost is always a verbatim copy of the owner's current row —
     rows only change at retirement, which happens between rounds, when
     no ghosts exist.
+
+Parallel shard execution (the process-pool transport)
+-----------------------------------------------------
+
+With ``workers > 1`` the driver dispatches each shard's *whole* BSP
+chain to the persistent worker pool
+(:meth:`repro.ampc.pool.CoinGamePool.run_fabric_round` →
+:func:`run_shard_chain`) instead of interleaving the shards in-process.
+This is sound because a shard's chain is a pure function of
+``(global residual CSR, its roots, shard count, engine, config,
+budget)``: every row another shard would serve it is a verbatim slice
+of that CSR (ghosts are exact copies and rows never change
+mid-round), so a worker holding the round's shared CSR can serve its
+own row requests — including the seeded first exchange and the
+doubling speculative-prefetch balls (radius ``2^(k-1)`` capped at
+:data:`PREFETCH_RADIUS_CAP`; budgeted shards never speculate) — and
+replay exactly the sub-round chain the serial fabric would run.
+Observable state stays honest on both sides of the process boundary:
+
+- **Communication is replayed, not simulated.**  A worker returns its
+  per-sub-round ``(missing, speculative)`` id trace; the driver routes
+  each entry through the very same ``_send`` / row-serving helpers the
+  serial fabric uses, so messages, words, segment counts, row
+  requests/served, and the global sub-round count (a cross-shard
+  *any* per lockstep iteration) are bit-identical to the serial
+  transport.  Replay happens in shard-completion order, overlapped
+  with the still-running shards' play — the only work that may
+  overlap, since it touches no state another shard could observe
+  (``comm_overlap_s`` records the hidden portion; ``shard_wall_s``
+  the slowest worker's in-process chain).
+- **Guard accounting is adopted, not recomputed.**  The worker's
+  :class:`MemoryGuard` replays the exact op sequence (placement,
+  round begin, assignments, exchanges, plays) against the same
+  budget; the driver merges the returned round peak and end-of-round
+  held words per tag onto its persistent shard guards
+  (:meth:`MemoryGuard.adopt`), so driver-side fold accounting stacks
+  on the correct current and ``max_held_words`` matches the serial
+  fabric word for word.  A worker-side :class:`MemoryGuardError` is a
+  protocol outcome, not a pool fault: it passes through verbatim and
+  the pool stays healthy.
+- **Folds stay commutative across workers.**  The driver-side merge
+  of shard results is the same min/+ fold as ever — ``min`` and ``+``
+  are commutative and associative, per-game charges are
+  position-disjoint, and records key by root — so worker completion
+  order (racy by nature) cannot perturb any observable.
+
+The BSP sub-round loop plus the typed, size-capped messages above are
+deliberately the narrow waist: a true multi-host backend (sockets,
+MPI) replaces the pool dispatch and the driver's replay loop with real
+transport, and nothing above this module needs to change.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -130,6 +182,14 @@ __all__ = [
 # counting granularity (segments of one logical payload ship together);
 # EngineConfig.message_cap_words / $REPRO_MESSAGE_CAP_WORDS override it.
 MESSAGE_CAP_WORDS = 1 << 15
+
+# Ceiling on the doubling speculative-service radius (see
+# _Shard.expand_requests): by the time a game is this many fetch
+# exchanges deep, one more doubling would ship most of the owner's slice.
+PREFETCH_RADIUS_CAP = 16
+# Request-union size below which the exchange switches from direct
+# serving to cap-radius speculative balls (the deep-tail regime).
+PREFETCH_TAIL_IDS = 2048
 
 _EMPTY = np.empty(0, dtype=np.int64)
 _INF = float("inf")
@@ -152,6 +212,18 @@ def owner_of(vertices: np.ndarray, num_shards: int) -> np.ndarray:
     z = (z ^ (z >> np.uint64(27))) * _MIX2
     z ^= z >> np.uint64(31)
     return (z % np.uint64(num_shards)).astype(np.int64)
+
+
+_M64 = (1 << 64) - 1
+
+
+def owner_of_one(v: int, num_shards: int) -> int:
+    """Scalar :func:`owner_of` for single-vertex probes (same mix)."""
+    z = (v + 0x9E3779B97F4A7C15) & _M64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+    z ^= z >> 31
+    return z % num_shards
 
 
 class MemoryGuardError(RuntimeError):
@@ -186,27 +258,54 @@ class MemoryGuard:
         self.round_peak = self.current
 
     def account(self, tag: str, words: int) -> None:
-        """Set ``tag``'s held words; raise loudly on budget violation."""
+        """Set ``tag``'s held words; raise loudly on budget violation.
+
+        An over-budget charge is never committed: ``current``, ``peak``,
+        and the tag's held words are untouched when this raises, so a
+        caller that catches the error (the budget tests, a shard
+        deciding to shed load) continues with accounting that still
+        reflects what the shard actually holds.
+        """
         words = int(words)
         if words < 0:
             raise ValueError(f"negative words for tag {tag!r}")
-        self.current += words - self._held.get(tag, 0)
+        attempted = self.current + words - self._held.get(tag, 0)
+        if self.budget_words is not None and attempted > self.budget_words:
+            held = ", ".join(
+                f"{t}={w}"
+                for t, w in sorted({**self._held, tag: words}.items())
+                if w
+            )
+            raise MemoryGuardError(
+                f"{self.name} holds {attempted} words, exceeding its "
+                f"S budget of {self.budget_words} ({held})"
+            )
+        self.current = attempted
         self._held[tag] = words
         if self.current > self.peak:
             self.peak = self.current
         if self.current > self.round_peak:
             self.round_peak = self.current
-        if self.budget_words is not None and self.current > self.budget_words:
-            held = ", ".join(
-                f"{t}={w}" for t, w in sorted(self._held.items()) if w
-            )
-            raise MemoryGuardError(
-                f"{self.name} holds {self.current} words, exceeding its "
-                f"S budget of {self.budget_words} ({held})"
-            )
 
     def release(self, tag: str) -> None:
         self.current -= self._held.pop(tag, 0)
+
+    def adopt(self, round_peak: int, held: dict[str, int]) -> None:
+        """Adopt a worker-side guard's round outcome onto this guard.
+
+        The pooled fabric runs a shard's round inside a worker process
+        whose guard replays the exact op sequence the serial fabric
+        would have run (same budget, so a violation raised there first);
+        the driver-side guard — which persists across rounds and still
+        owes the round's fold accounting — takes over the worker's
+        end-of-round holdings and folds its peak into the counters.
+        """
+        for tag, words in held.items():
+            words = int(words)
+            self.current += words - self._held.get(tag, 0)
+            self._held[tag] = words
+        self.peak = max(self.peak, round_peak, self.current)
+        self.round_peak = max(self.round_peak, round_peak, self.current)
 
     def held_words(self) -> int:
         return self.current
@@ -251,6 +350,8 @@ class _Shard:
         self.row_offsets = np.zeros(1, dtype=np.int64)
         self.row_targets = _EMPTY
         self.ghosts: dict[int, np.ndarray] = {}
+        self._ghost_words = 0
+        self._owned_index: dict[int, int] | None = None
 
     # -- owned rows --------------------------------------------------------
 
@@ -260,9 +361,19 @@ class _Shard:
         self.row_ids = ids
         self.row_offsets = offsets
         self.row_targets = targets
+        self._owned_index = None
         words = len(ids) + len(offsets) + len(targets)
         self.guard.account("owned_rows", words)
         return words
+
+    def owned_index(self) -> dict[int, int]:
+        """id → slot of the owned slice (ids are static within a round,
+        single-vertex probes are the replay hot path)."""
+        if self._owned_index is None:
+            self._owned_index = {
+                v: i for i, v in enumerate(self.row_ids.tolist())
+            }
+        return self._owned_index
 
     def owned_row(self, v: int) -> np.ndarray:
         """The residual row of owned vertex ``v`` (implicitly empty rows
@@ -273,6 +384,38 @@ class _Shard:
                 self.row_offsets[i]:self.row_offsets[i + 1]
             ]
         return _EMPTY
+
+    def serve_rows(self, ids: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """Bulk :meth:`owned_row` for one request batch (one lookup pass
+        instead of a searchsorted per row — serving is driver-hot)."""
+        pos = np.searchsorted(self.row_ids, ids)
+        inb = pos < len(self.row_ids)
+        hit = np.zeros(len(ids), dtype=bool)
+        hit[inb] = self.row_ids[pos[inb]] == ids[inb]
+        starts = self.row_offsets[pos]
+        ends = self.row_offsets[np.minimum(pos + 1, len(self.row_ids))]
+        targets = self.row_targets
+        return [
+            (v, targets[s:e].copy() if h else _EMPTY)
+            for v, s, e, h in zip(
+                ids.tolist(), starts.tolist(), ends.tolist(), hit.tolist()
+            )
+        ]
+
+    def served_words(self, ids: np.ndarray) -> list[int]:
+        """Payload words :meth:`serve_rows` would ship per id, without
+        materializing the rows (the pooled driver replays a worker's
+        row exchanges for accounting only — the worker already served
+        itself from the shared CSR)."""
+        pos = np.searchsorted(self.row_ids, ids)
+        inb = pos < len(self.row_ids)
+        hit = np.zeros(len(ids), dtype=bool)
+        hit[inb] = self.row_ids[pos[inb]] == ids[inb]
+        lens = (
+            self.row_offsets[np.minimum(pos + 1, len(self.row_ids))]
+            - self.row_offsets[pos]
+        )
+        return (2 + np.where(hit, lens, 0)).tolist()
 
     def retire(self, retired: np.ndarray) -> None:
         """Drop retired owned rows; prune retired ids from the rest.
@@ -288,39 +431,56 @@ class _Shard:
             np.arange(len(self.row_ids), dtype=np.int64),
             np.diff(self.row_offsets),
         )
-        counts = np.bincount(
+        counts_all = np.bincount(
             row_index[keep_tgts], minlength=len(self.row_ids)
-        )[keep_rows]
+        )
+        # Rows whose every target retired are dropped with the retired
+        # rows: a source with no surviving targets has residual degree 0,
+        # and the owner partition of the next round's CSR (what
+        # _distribute builds) holds rows for deg>0 sources only.  Served
+        # rows are unchanged either way (a missing owned row reads as
+        # empty), but pooled execution reconstructs each shard from the
+        # round's CSR, so the pruned slice must *equal* that partition —
+        # guard words included — not merely serve the same rows.
+        keep_rows &= counts_all > 0
+        counts = counts_all[keep_rows]
         self.row_targets = self.row_targets[keep_tgts & keep_rows[row_index]]
         self.row_ids = self.row_ids[keep_rows]
         self.row_offsets = np.zeros(len(self.row_ids) + 1, dtype=np.int64)
         np.cumsum(counts, out=self.row_offsets[1:])
+        self._owned_index = None
         self.guard.account(
             "owned_rows",
             len(self.row_ids) + len(self.row_offsets) + len(self.row_targets),
         )
 
+
     # -- ghost fringe ------------------------------------------------------
 
     def install_ghosts(self, rows: list[tuple[int, np.ndarray]]) -> None:
+        words = self._ghost_words
+        ghosts = self.ghosts
         for v, row in rows:
-            self.ghosts[v] = row
-        self._account_ghosts()
+            old = ghosts.get(v)
+            if old is not None:
+                words -= 1 + len(old)
+            ghosts[v] = row
+            words += 1 + len(row)
+        self._ghost_words = words
+        self.guard.account("ghost_fringe", words)
 
     def evict_ghosts(self, pinned: set[int]) -> None:
-        for v in [v for v in self.ghosts if v not in pinned]:
-            del self.ghosts[v]
-        self._account_ghosts()
+        ghosts = self.ghosts
+        words = self._ghost_words
+        for v in [v for v in ghosts if v not in pinned]:
+            words -= 1 + len(ghosts.pop(v))
+        self._ghost_words = words
+        self.guard.account("ghost_fringe", words)
 
     def clear_ghosts(self) -> None:
         self.ghosts.clear()
+        self._ghost_words = 0
         self.guard.release("ghost_fringe")
-
-    def _account_ghosts(self) -> None:
-        self.guard.account(
-            "ghost_fringe",
-            sum(1 + len(row) for row in self.ghosts.values()),
-        )
 
     def ghost_ids(self) -> np.ndarray:
         if not self.ghosts:
@@ -365,12 +525,42 @@ class _ShardRound:
         self.records: list = [None] * g
         self.missing: list[set[int]] = [set() for __ in range(g)]
         self.fetched: list[set[int]] = [set() for __ in range(g)]
+        self.spec_pins: set[int] = set()
         self.replay_stats: dict = {}
         self.ejected_games = 0
         shard.guard.account("game_assignments", 2 * g)
 
     def pending(self) -> np.ndarray:
         return np.flatnonzero(~self.valid)
+
+    def seed_missing(self, num_shards: int) -> None:
+        """Pre-play missing sets: the wave-one fringe needs no wave.
+
+        Every game's root row is owned by this shard, so the rows its
+        first wave will miss — the root's off-shard targets — are known
+        before any play.  Seeding them lets the first exchange run
+        *before* the first play, turning the fleet-wide all-miss
+        discovery wave into a no-op.  A game whose fringe is entirely
+        held seeds empty and simply commits on the first play; a game
+        that would have committed on the bare root row fetches a few
+        rows it will not read — ghost words it pins anyway until it
+        retires on the very next wave.
+        """
+        shard = self.shard
+        row_ids = shard.row_ids
+        pos = np.searchsorted(row_ids, self.roots)
+        inb = pos < len(row_ids)
+        hit = np.zeros(len(self.roots), dtype=bool)
+        hit[inb] = row_ids[pos[inb]] == self.roots[inb]
+        starts = shard.row_offsets[pos]
+        ends = shard.row_offsets[np.minimum(pos + 1, len(row_ids))]
+        targets = shard.row_targets
+        owners_t = owner_of(targets, num_shards)
+        for i in np.flatnonzero(hit).tolist():
+            seg = slice(int(starts[i]), int(ends[i]))
+            off = targets[seg][owners_t[seg] != shard.sid]
+            if off.size:
+                self.missing[i] = set(off.tolist())
 
     def missing_union(self) -> np.ndarray:
         wanted: set[int] = set()
@@ -382,16 +572,23 @@ class _ShardRound:
         return np.asarray(sorted(wanted), dtype=np.int64)
 
     def pinned_ghosts(self) -> set[int]:
+        pending = self.pending()
         pins: set[int] = set()
-        for i in self.pending().tolist():
+        for i in pending.tolist():
             pins |= self.fetched[i]
+        if pending.size:
+            pins |= self.spec_pins
         return pins
 
-    def finish(self) -> None:
-        guard = self.shard.guard
-        guard.release("game_assignments")
-        guard.release("game_scratch")
-        guard.release("fold_accumulators")
+    def attribute_expansions(self, extra: set[int]) -> None:
+        """Pin speculatively served rows for as long as any game is
+        pending — they were speculated precisely for the pending tail,
+        and one shard-level set keeps the pin O(|extra|) instead of a
+        per-game union over thousands of fetched sets.  Directly
+        requested rows keep their exact per-game pins in ``fetched``;
+        everything unpins together once the last game commits."""
+        if extra:
+            self.spec_pins |= extra
 
     # -- one sub-round of play --------------------------------------------
 
@@ -416,7 +613,7 @@ class _ShardRound:
 
     def _play_batched(self, params: dict, config) -> None:
         from repro.core.batched_games import play_games_batched
-        from repro.core.columnar_rounds import LazyAdjacency, play_coin_game
+        from repro.core.columnar_rounds import play_coin_game
 
         shard = self.shard
         need = self.pending()
@@ -452,13 +649,34 @@ class _ShardRound:
         ]) if u_count else _EMPTY
         held_tgt = np.concatenate([own_tgt, ghost_tgt])
 
-        # Synthetic reverse rows close the held subgraph symmetrically:
-        # the engine's transpose-position map assumes every edge's
-        # reverse exists.  Only a game that explores a fringe vertex can
-        # read one — and that game is invalid and discarded.
-        fringe_edge = ~held[held_tgt]
-        syn_src = held_tgt[fringe_edge]
-        syn_tgt = held_src[fringe_edge]
+        # Fringe vertices (targets of held rows whose own rows are not
+        # held) need local rows too.  The two engines want different
+        # ones:
+        #
+        # * The python batched engine patches forwarding records through
+        #   a transpose-position map that assumes every edge's reverse
+        #   exists, so fringe rows must hold synthetic reverse edges.
+        #   Only a game that explores a fringe vertex can read one — and
+        #   that game is invalid and discarded — but the fake structure
+        #   (cycles back into the ball) makes such games escalate their
+        #   coin scale far past the genuine trajectory's, ejecting them
+        #   to the slow bigint path in droves.
+        #
+        # * The compiled kernel re-evaluates membership per delivery
+        #   through its stamp arrays and never consults a transpose map,
+        #   so it has no symmetry assumption at all.  Fringe rows stay
+        #   genuinely empty — the exact missing-rows-read-as-empty
+        #   semantics of the scalar fabric protocol — and a game that
+        #   walks off the held ball parks at the fringe instead of
+        #   bouncing through fake cycles, so only genuinely deep games
+        #   eject.  Either way the game is detected as invalid through
+        #   the held mask over its explored set.
+        if self.engine == "compiled":
+            syn_src = syn_tgt = _EMPTY
+        else:
+            fringe_edge = ~held[held_tgt]
+            syn_src = held_tgt[fringe_edge]
+            syn_tgt = held_src[fringe_edge]
         deg = deg_held + np.bincount(
             syn_src, minlength=u_count
         ) if syn_src.size else deg_held
@@ -505,6 +723,8 @@ class _ShardRound:
         block = config.cohort_games
         arena_hint = [0, 0]
         ejected: list[int] = []
+        need_list = need.tolist()
+        raw = self.engine == "compiled"
         for start in range(0, k, block):
             stop = min(start + block, k)
             info = play_cohort(
@@ -516,41 +736,121 @@ class _ShardRound:
                 replay_stats=self.replay_stats, arena_hint=arena_hint,
                 cone_cutoff=config.replay_cone_cutoff,
                 poor_streak=config.replay_poor_streak,
+                **({"raw_records": True} if raw else {}),
             )
             reads[start:stop] = info.reads
             writes[start:stop] = info.writes
-            records[start:stop] = info.records
             ejected.extend((info.ejected + start).tolist())
-        if ejected:
-            adj = LazyAdjacency(offsets_l, targets_l)
-            for gi in ejected:
-                reads[gi], writes[gi], records[gi] = play_coin_game(
-                    adj, int(roots_l[gi]), params["x"], params["beta"],
-                    params["clip"], params["horizon"], params["scale"],
-                    out_layer, out_count, True,
-                )
-                ejected_flags[gi] = True
-
-        for j, i in enumerate(need.tolist()):
-            record = records[j]
-            explored_l = np.asarray(record[0], dtype=np.int64)
-            miss = explored_l[~held[explored_l]]
-            if miss.size:
-                self.missing[i] = set(universe[miss].tolist())
+            if not raw:
+                records[start:stop] = info.records
                 continue
-            explored_g = universe[explored_l]
-            proof_g = [
-                (int(universe[u]), lay) for u, lay in record[1]
-            ]
-            # Real words of the held ball: one degree word plus the row
-            # targets per explored vertex — identically the game's probe
-            # charge, so strict-budget parity is checked against what a
-            # shard genuinely held.
-            ball = len(explored_l) + int(deg_held[explored_l].sum())
-            self._commit(
-                i, int(reads[j]), int(writes[j]),
-                (explored_g.tolist(), proof_g, int(reads[j]), int(writes[j])),
-                ball, bool(ejected_flags[j]),
+            # Raw flat records: remap ids and split valid from invalid
+            # games in whole-cohort array ops, then build python record
+            # tuples only for the games that actually commit — an
+            # optimistic wave discards most of its plays as invalid, and
+            # marshalling their transcripts one list element at a time
+            # was the fabric's single largest driver cost.
+            mem_f, pu_f, pl_f, mem_counts, proof_counts = info.records
+            mem_ends = np.cumsum(mem_counts)
+            proof_ends = np.cumsum(proof_counts)
+            mem_g = universe[mem_f]
+            pu_g = universe[pu_f]
+            pl_list = pl_f.tolist()
+            bad = ~held[mem_f]
+            bad_cum = np.zeros(len(bad) + 1, dtype=np.int64)
+            np.cumsum(bad, out=bad_cum[1:])
+            ball_cum = np.zeros(len(mem_f) + 1, dtype=np.int64)
+            np.cumsum(deg_held[mem_f], out=ball_cum[1:])
+            cohort_ejected = np.zeros(stop - start, dtype=bool)
+            cohort_ejected[info.ejected] = True
+            mo = po = 0
+            for jj in range(stop - start):
+                me = int(mem_ends[jj])
+                pe = int(proof_ends[jj])
+                if cohort_ejected[jj]:
+                    mo, po = me, pe
+                    continue  # replayed exactly below, on real held rows
+                i = need_list[start + jj]
+                if bad_cum[me] != bad_cum[mo]:
+                    seg = mem_g[mo:me]
+                    self.missing[i] = set(seg[bad[mo:me]].tolist())
+                else:
+                    r = int(reads[start + jj])
+                    w = int(writes[start + jj])
+                    proof_g = list(zip(pu_g[po:pe].tolist(), pl_list[po:pe]))
+                    # Real words of the held ball: one degree word plus
+                    # the row targets per explored vertex — identically
+                    # the game's probe charge, so strict-budget parity
+                    # is checked against what a shard genuinely held.
+                    ball = (me - mo) + int(ball_cum[me] - ball_cum[mo])
+                    self._commit(
+                        i, r, w, (mem_g[mo:me].tolist(), proof_g, r, w),
+                        ball, False,
+                    )
+                mo, po = me, pe
+        if ejected:
+            ejected_flags[ejected] = True
+        if not raw:
+            for j, i in enumerate(need_list):
+                if ejected_flags[j]:
+                    continue  # replayed exactly below, on real held rows
+                record = records[j]
+                explored_l = np.asarray(record[0], dtype=np.int64)
+                miss = explored_l[~held[explored_l]]
+                if miss.size:
+                    self.missing[i] = set(universe[miss].tolist())
+                    continue
+                explored_g = universe[explored_l]
+                proof = record[1]
+                proof_u = universe[np.fromiter(
+                    (u for u, __ in proof), dtype=np.int64, count=len(proof)
+                )].tolist()
+                proof_g = [
+                    (v, lay) for v, (__, lay) in zip(proof_u, proof)
+                ]
+                # Real words of the held ball (see the raw path above).
+                ball = len(explored_l) + int(deg_held[explored_l].sum())
+                self._commit(
+                    i, int(reads[j]), int(writes[j]),
+                    (explored_g.tolist(), proof_g,
+                     int(reads[j]), int(writes[j])),
+                    ball, False,
+                )
+
+        # Ejected games replay through the scalar interpreter — but on
+        # the shard's *real* held rows in global ids, not the compacted
+        # local view.  The synthetic reverse rows above exist only to
+        # satisfy the engine's transpose map; a game that wanders into
+        # them sees fake structure whose scale escalation routinely
+        # overflows the engine (mass ejection), and an exact bigint
+        # replay of that fake trajectory is both the slowest path in the
+        # fabric and useless — the transcript is discarded as invalid
+        # anyway.  Replaying against held rows keeps the bigint path on
+        # the true game: if every probe hits a held row the global
+        # transcript is exact and commits; otherwise the logged probes
+        # are the genuine rows the game's real trajectory needs next
+        # sub-round.
+        if ejected:
+            adj = _GhostAdjacency(shard)
+            scratch_layer = _MinScratch()
+            scratch_count = _CountScratch()
+            for gi in ejected:
+                i = int(need[gi])
+                adj.missing = set()
+                r, w, record = play_coin_game(
+                    adj, int(roots_g[gi]), params["x"], params["beta"],
+                    params["clip"], params["horizon"], params["scale"],
+                    scratch_layer, scratch_count, True,
+                )
+                if adj.missing:
+                    self.missing[i] = adj.missing
+                    continue
+                ball = len(record[0]) + sum(len(adj[u]) for u in record[0])
+                self._commit(i, r, w, record, ball, True)
+            shard.guard.account(
+                "game_scratch",
+                (u_count + 1) + 2 * len(targets_l) + 3 * u_count
+                + adj.cached_words(),
             )
         shard.guard.release("game_scratch")
 
@@ -590,20 +890,102 @@ class _GhostAdjacency:
         self._shard = shard
         self._rows: dict[int, list[int]] = {}
         self.missing: set[int] = set()
+        # Probes are single-vertex and row-cache misses are the hot
+        # path of every replay, so look rows up through the shard's id
+        # index instead of binary-searching and owner-hashing one numpy
+        # scalar per miss.
+        self._owned_index = shard.owned_index()
 
     def __getitem__(self, v: int) -> list[int]:
         row = self._rows.get(v)
         if row is None:
-            held = self._shard.row_of(v)
-            if held is None:
-                self.missing.add(v)
-                return []
-            row = held.tolist()
+            shard = self._shard
+            i = self._owned_index.get(v)
+            if i is not None:
+                row = shard.row_targets[
+                    shard.row_offsets[i]:shard.row_offsets[i + 1]
+                ].tolist()
+            else:
+                ghost = shard.ghosts.get(v)
+                if ghost is not None:
+                    row = ghost.tolist()
+                elif owner_of_one(v, shard.num_shards) == shard.sid:
+                    row = []  # owned, implicitly empty (isolated vertex)
+                else:
+                    self.missing.add(v)
+                    return []
             self._rows[v] = row
         return row
 
     def cached_words(self) -> int:
         return sum(1 + len(row) for row in self._rows.values())
+
+
+def _expand_ball(
+    offsets: np.ndarray,
+    targets: np.ndarray,
+    deg: np.ndarray,
+    miss: np.ndarray,
+    radius: int,
+    shard: _Shard,
+    max_words: int | None,
+) -> np.ndarray:
+    """Speculative fetch targets: the ``radius``-hop ball around the
+    missing set, minus rows the requester already holds.
+
+    Request forwarding is ownership-blind: each hop the fabric
+    routes "ship row u to shard ``sid``" to u's owner, so the ball
+    follows the row graph across shard boundaries (an owner-local
+    expansion would die after one hop — the owner hash deliberately
+    scatters adjacent vertices).  ``max_words`` bounds the ball's
+    payload; served rows are verbatim CSR rows either way, so commit
+    exactness is untouched.
+    """
+    if radius <= 0 or max_words == 0:
+        return _EMPTY
+    ball = set(miss.tolist())
+    ghosts = shard.ghosts
+    sid = shard.sid
+    num_shards = shard.num_shards
+    frontier = miss
+    out: list[int] = []
+    words = 0
+    for __ in range(radius):
+        live = frontier[deg[frontier] > 0]
+        if not live.size:
+            break
+        nxt = _sorted_unique(
+            targets[_segment_indices(offsets[live], deg[live])]
+        )
+        owners_n = owner_of(nxt, num_shards)
+        fresh: list[int] = []
+        for u, o in zip(nxt.tolist(), owners_n.tolist()):
+            if u in ball:
+                continue
+            # Rows the requester already holds are waypoints, not
+            # cargo: they join the frontier (the true ball runs
+            # straight through them — with p shards an owner-hash
+            # scatters 1/p of every layer into the requester) but
+            # are never re-shipped.
+            ball.add(u)
+            fresh.append(u)
+            if o == sid or u in ghosts:
+                continue
+            # Budget charge per speculative row: its ghost words
+            # (2 + deg) plus the scratch the next play's compacted
+            # universe spends on it — ~4 words per universe slot
+            # (the row itself and up to deg fringe targets) and 2
+            # per target — so a row costs ~6 + 7*deg of headroom,
+            # not just its payload.
+            w = 6 + 7 * int(deg[u])
+            if max_words is not None and words + w > max_words:
+                return np.asarray(sorted(out), dtype=np.int64)
+            words += w
+            out.append(u)
+        if not fresh:
+            break
+        frontier = np.asarray(fresh, dtype=np.int64)
+    return np.asarray(sorted(out), dtype=np.int64)
 
 
 class _MinScratch(dict):
@@ -618,6 +1000,114 @@ class _CountScratch(dict):
 
     def __missing__(self, key):
         return 0
+
+
+def run_shard_chain(
+    offsets: np.ndarray,
+    targets: np.ndarray,
+    sid: int,
+    *,
+    num_shards: int,
+    roots: np.ndarray,
+    positions: np.ndarray,
+    x: int,
+    beta: int,
+    clip: int,
+    horizon: int,
+    scale: int | None,
+    want_records: bool,
+    engine: str,
+    config,
+    budget_words: int | None = None,
+) -> dict:
+    """One shard's complete BSP round, self-served from the global CSR.
+
+    This is the worker side of the pooled fabric
+    (:meth:`repro.ampc.pool.CoinGamePool.run_fabric_round`).  A shard's
+    sub-round chain is a pure function of (residual CSR, its roots,
+    shard count, engine, config, budget): every row another shard would
+    serve it is a verbatim slice of the round's CSR, so the worker
+    reconstructs its owned partition from the shared CSR (exactly what
+    :meth:`MessageFabric._distribute` built — retirement prunes the
+    driver's slices down to the same shape), serves its own row requests
+    straight from the CSR, and runs the identical guard/ghost/play
+    sequence the serial fabric runs for that shard.
+
+    Besides its game results the worker returns the per-sub-round
+    ``(missing, speculative)`` id trace of requests it *would* have sent
+    and its guard's round peak and end-of-round holdings; the driver
+    replays the trace through the same ``_send``/word-counting helpers
+    (overlapped with the other shards' play) and adopts the guard
+    numbers, so comm counters and ``max_held_words`` are bit-identical
+    to the serial fabric for every (engine, shards, workers) combination.
+    """
+    t0 = time.perf_counter()
+    shard = _Shard(sid, num_shards, budget_words)
+    deg = np.diff(offsets)
+    sources = np.flatnonzero(deg > 0)
+    sources = sources[owner_of(sources, num_shards) == sid]
+    counts = deg[sources]
+    row_offsets = np.zeros(len(sources) + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_offsets[1:])
+    shard.install_owned(
+        sources, row_offsets,
+        targets[_segment_indices(offsets[sources], counts)],
+    )
+    shard.guard.begin_round()
+    run = _ShardRound(shard, roots, positions, engine)
+    run.seed_missing(num_shards)
+    params = {
+        "x": x, "beta": beta, "clip": clip, "horizon": horizon,
+        "scale": scale,
+    }
+    trace: list[tuple[np.ndarray, np.ndarray]] = []
+    sub_round = 0
+    played = False
+    while True:
+        miss = run.missing_union()
+        if not miss.size and played:
+            break
+        sub_round += 1
+        radius = min(1 << (sub_round - 1), PREFETCH_RADIUS_CAP)
+        extra = _EMPTY
+        if miss.size:
+            # Same speculation policy as the serial loop: a budgeted
+            # shard never speculates (see MessageFabric.run_round).
+            spec_cap = None if budget_words is None else 0
+            extra = _expand_ball(
+                offsets, targets, deg, miss, radius, shard, spec_cap
+            )
+            wanted = np.concatenate([miss, extra]) if extra.size else miss
+            shard.install_ghosts([
+                (v, targets[offsets[v]:offsets[v + 1]].copy())
+                for v in wanted.tolist()
+            ])
+            run.attribute_expansions(set(extra.tolist()))
+        shard.evict_ghosts(run.pinned_ghosts())
+        if run.pending().size:
+            run.play(params, config)
+        played = True
+        trace.append((miss, extra))
+    proof_u: list[int] = []
+    proof_l: list[int] = []
+    for record in run.records:
+        for u, lay in record[1]:
+            proof_u.append(u)
+            proof_l.append(lay)
+    return {
+        "reads": run.reads,
+        "writes": run.writes,
+        "records": run.records if want_records else None,
+        "replay_stats": run.replay_stats or None,
+        "ejected_games": run.ejected_games,
+        "ball_max": int(run.ball_words.max()) if run.ball_words.size else 0,
+        "proof_u": np.asarray(proof_u, dtype=np.int64),
+        "proof_l": np.asarray(proof_l, dtype=np.int64),
+        "trace": trace,
+        "guard_peak": shard.guard.round_peak,
+        "guard_held": dict(shard.guard._held),
+        "wall_s": time.perf_counter() - t0,
+    }
 
 
 class MessageFabric:
@@ -661,7 +1151,7 @@ class MessageFabric:
         "messages", "words", "subrounds", "row_requests", "rows_served",
         "placement_words", "retirement_words", "fold_words", "result_words",
         "max_shard_words", "max_game_ball_words", "max_held_words",
-        "ejected_games",
+        "ejected_games", "shard_wall_s", "comm_overlap_s",
     )
 
     def _init_comm(self, comm: dict) -> dict:
@@ -754,6 +1244,7 @@ class MessageFabric:
         engine: str = "batched",
         config=None,
         comm: dict | None = None,
+        pool=None,
     ) -> list[tuple[np.ndarray, "object"]]:
         """Play one round's pending games through the shard fabric.
 
@@ -762,9 +1253,14 @@ class MessageFabric:
         records ride with the shard owning the *game*, layer folds with
         the shard owning the *vertex* (both scatter through commutative
         accumulators, so the split is invisible).
-        """
-        from repro.ampc.pool import ShardResult
 
+        ``pool`` (a :class:`repro.ampc.pool.CoinGamePool`) runs each
+        shard's BSP chain in a worker process instead of in-process (see
+        :func:`run_shard_chain`) — a pure throughput knob: the driver
+        replays every shard's communication for the counters and adopts
+        its guard peaks, so all observables and all comm/memory numbers
+        are bit-identical to the serial fabric.
+        """
         if config is None:
             from repro.ampc.engine_config import EngineConfig
 
@@ -778,6 +1274,15 @@ class MessageFabric:
             self._distribute(offsets, targets, comm, shard_words)
 
         owners = owner_of(roots, self.num_shards)
+        params = {
+            "x": x, "beta": beta, "clip": clip, "horizon": horizon,
+            "scale": scale,
+        }
+        if pool is not None and len(roots):
+            return self._run_round_pooled(
+                pool, offsets, targets, roots, positions, owners, params,
+                want_records, engine, config, comm, shard_words,
+            )
         runs: list[_ShardRound] = []
         for sid, shard in enumerate(self.shards):
             sel = np.flatnonzero(owners == sid)
@@ -786,63 +1291,227 @@ class MessageFabric:
             runs.append(
                 _ShardRound(shard, roots[sel], positions[sel], engine)
             )
-        params = {
-            "x": x, "beta": beta, "clip": clip, "horizon": horizon,
-            "scale": scale,
-        }
 
-        # BSP sub-rounds: play, validate, exchange missing rows, repeat.
+        # BSP sub-rounds: exchange missing rows, play, validate, repeat.
+        # Exchange runs *before* play: the first missing sets are seeded
+        # from the owned root rows, so the opening fleet-wide all-miss
+        # discovery wave never happens.
+        deg_global = np.diff(offsets)
+        for run in runs:
+            run.seed_missing(self.num_shards)
+        sub_round = 0
+        played = False
         while True:
-            for run in runs:
-                if run.pending().size:
-                    run.play(params, config)
-            requests: dict[int, dict[int, np.ndarray]] = {}
+            src_missing: list[np.ndarray] = []
             total_missing = 0
-            for sid, run in enumerate(runs):
+            for run in runs:
                 miss = run.missing_union()
-                if miss.size:
-                    total_missing += int(miss.size)
-                    owners_m = owner_of(miss, self.num_shards)
-                    for dst in _sorted_unique(owners_m).tolist():
-                        requests.setdefault(dst, {})[sid] = (
-                            miss[owners_m == dst]
-                        )
-            if not total_missing:
+                src_missing.append(miss)
+                total_missing += int(miss.size)
+            if not total_missing and played:
                 break
-            comm["subrounds"] += 1
-            for dst in sorted(requests):
-                owner = self.shards[dst]
-                for src, ids in sorted(requests[dst].items()):
-                    self._send(comm, shard_words, len(ids), src=src, dst=dst)
+            if total_missing:
+                comm["subrounds"] += 1
+            sub_round += 1
+            # Speculative service radius.  The seed exchange ships each
+            # game's layer-two ball alongside its layer-one fringe —
+            # most balls stop there, so most games commit on their first
+            # play.  Later exchanges double the radius per sub-round:
+            # the games still pending are the deep tail, and chasing
+            # their balls one fetched layer at a time costs one
+            # sub-round per layer, while doubling makes the remaining
+            # chain O(log r).
+            radius = min(1 << (sub_round - 1), PREFETCH_RADIUS_CAP)
+            for sid, miss in enumerate(src_missing):
+                if not miss.size:
+                    continue
+                shard = self.shards[sid]
+                # Speculation is a pure wall-clock optimization: a
+                # budgeted shard never speculates.  The S budget bounds
+                # the shard's *peak* held words — ghost payloads plus
+                # the play scratch their compacted universe induces —
+                # and that peak depends on rows the shard has not seen
+                # yet, so no request-time headroom check can keep an
+                # optimistic ball safely under it.  Direct fetches
+                # alone already color every graph the budget admits.
+                spec_cap = None if shard.guard.budget_words is None else 0
+                extra = _expand_ball(
+                    offsets, targets, deg_global, miss, radius, shard,
+                    spec_cap,
+                )
+                wanted = (
+                    np.concatenate([miss, extra]) if extra.size else miss
+                )
+                owners_w = owner_of(wanted, self.num_shards)
+                for dst in _sorted_unique(owners_w).tolist():
+                    ids = np.sort(wanted[owners_w == dst])
+                    owner = self.shards[dst]
+                    self._send(comm, shard_words, len(ids), src=sid, dst=dst)
                     comm["row_requests"] += len(ids)
-                    rows = [
-                        (v, owner.owned_row(v).copy()) for v in ids.tolist()
-                    ]
+                    rows = owner.serve_rows(ids)
                     row_words = [2 + len(row) for __, row in rows]
                     self._send(
-                        comm, shard_words, sum(row_words), src=dst, dst=src,
+                        comm, shard_words, sum(row_words), src=dst, dst=sid,
                         messages=self._row_segments(row_words),
                     )
                     comm["rows_served"] += len(rows)
-                    self.shards[src].install_ghosts(rows)
+                    shard.install_ghosts(rows)
+                runs[sid].attribute_expansions(set(extra.tolist()))
             for run in runs:
                 run.shard.evict_ghosts(run.pinned_ghosts())
+            for run in runs:
+                if run.pending().size:
+                    run.play(params, config)
+            played = True
 
-        # Layer-proposal folds, routed by vertex owner; owners min/+-fold
-        # and forward one (u, min, count) triple per vertex to the driver.
-        fold_u: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
-        fold_l: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
-        for sid, run in enumerate(runs):
+        per_shard = []
+        for run in runs:
             proof_u: list[int] = []
             proof_l: list[int] = []
             for record in run.records:
                 for u, lay in record[1]:
                     proof_u.append(u)
                     proof_l.append(lay)
-            if not proof_u:
+            per_shard.append({
+                "positions": run.positions,
+                "roots": run.roots,
+                "reads": run.reads,
+                "writes": run.writes,
+                "records": run.records,
+                "replay_stats": run.replay_stats or None,
+                "ejected_games": run.ejected_games,
+                "ball_max": (
+                    int(run.ball_words.max()) if run.ball_words.size else 0
+                ),
+                "proof_u": np.asarray(proof_u, dtype=np.int64),
+                "proof_l": np.asarray(proof_l, dtype=np.int64),
+            })
+        return self._fold_and_results(
+            comm, shard_words, want_records, per_shard
+        )
+
+    def _run_round_pooled(
+        self, pool, offsets, targets, roots, positions, owners, params,
+        want_records, engine, config, comm, shard_words,
+    ) -> list[tuple[np.ndarray, "object"]]:
+        """Dispatch each shard's BSP chain to a pool worker, replaying
+        its communication for the counters as results stream back.
+
+        Each worker runs :func:`run_shard_chain` — the full serial
+        per-shard protocol, self-served from the shared CSR — so the
+        games, the guard op sequence, and the request ids are exactly
+        the serial fabric's.  The driver's only per-shard work is
+        bookkeeping: replaying the returned request trace through
+        ``_send``/:meth:`_Shard.served_words` (row payload words come
+        from the driver's own identical slices) and adopting the
+        worker's guard peak.  Replay happens in completion order while
+        the remaining shards are still playing; ``comm_overlap_s``
+        records how much accounting was hidden behind play, and
+        ``shard_wall_s`` the slowest shard's in-worker wall time.
+        """
+        num = self.num_shards
+        jobs = []
+        roots_by: list[np.ndarray] = []
+        pos_by: list[np.ndarray] = []
+        for sid in range(num):
+            sel = np.flatnonzero(owners == sid)
+            roots_by.append(roots[sel])
+            pos_by.append(positions[sel])
+            if sel.size:
+                self._send(comm, shard_words, 2 * sel.size, dst=sid)
+                jobs.append((sid, roots[sel], positions[sel]))
+        payload = dict(params)
+        payload.update(
+            num_shards=num, want_records=want_records, engine=engine,
+            config=config, budget_words=self.budget_words,
+        )
+        shard_res: list[dict | None] = [None] * num
+        miss_sizes: list[list[int]] = [[] for __ in range(num)]
+        state = {"overlap": 0.0, "wall": 0.0}
+
+        def on_result(sid: int, res: dict, others_running: bool) -> None:
+            t0 = time.perf_counter()
+            shard_res[sid] = res
+            state["wall"] = max(state["wall"], res["wall_s"])
+            self.shards[sid].guard.adopt(
+                res["guard_peak"], res["guard_held"]
+            )
+            for miss, extra in res["trace"]:
+                miss_sizes[sid].append(int(miss.size))
+                if not miss.size:
+                    continue
+                wanted = (
+                    np.concatenate([miss, extra]) if extra.size else miss
+                )
+                owners_w = owner_of(wanted, num)
+                for dst in _sorted_unique(owners_w).tolist():
+                    ids = np.sort(wanted[owners_w == dst])
+                    self._send(comm, shard_words, len(ids), src=sid, dst=dst)
+                    comm["row_requests"] += len(ids)
+                    row_words = self.shards[dst].served_words(ids)
+                    self._send(
+                        comm, shard_words, sum(row_words), src=dst, dst=sid,
+                        messages=self._row_segments(row_words),
+                    )
+                    comm["rows_served"] += len(row_words)
+            if others_running:
+                state["overlap"] += time.perf_counter() - t0
+
+        pool.run_fabric_round(offsets, targets, jobs, payload, on_result)
+
+        # Lockstep sub-round k spans every shard's k-th exchange; the
+        # global counter ticks whenever any shard requested rows then —
+        # identically the serial loop's any-missing test.
+        depth = max((len(sizes) for sizes in miss_sizes), default=0)
+        for k in range(depth):
+            if any(len(sizes) > k and sizes[k] for sizes in miss_sizes):
+                comm["subrounds"] += 1
+        comm["shard_wall_s"] = max(comm["shard_wall_s"], state["wall"])
+        comm["comm_overlap_s"] += state["overlap"]
+
+        per_shard = []
+        for sid in range(num):
+            res = shard_res[sid]
+            if res is None:
+                per_shard.append({
+                    "positions": pos_by[sid], "roots": roots_by[sid],
+                    "reads": np.zeros(0, dtype=np.int64),
+                    "writes": np.zeros(0, dtype=np.int64),
+                    "records": [], "replay_stats": None,
+                    "ejected_games": 0, "ball_max": 0,
+                    "proof_u": _EMPTY, "proof_l": _EMPTY,
+                })
                 continue
-            pu = np.asarray(proof_u, dtype=np.int64)
-            pl = np.asarray(proof_l, dtype=np.int64)
+            per_shard.append({
+                "positions": pos_by[sid], "roots": roots_by[sid],
+                "reads": res["reads"], "writes": res["writes"],
+                "records": res["records"] if want_records else [],
+                "replay_stats": res["replay_stats"],
+                "ejected_games": res["ejected_games"],
+                "ball_max": res["ball_max"],
+                "proof_u": res["proof_u"], "proof_l": res["proof_l"],
+            })
+        return self._fold_and_results(
+            comm, shard_words, want_records, per_shard
+        )
+
+    def _fold_and_results(
+        self, comm, shard_words, want_records, per_shard,
+    ) -> list[tuple[np.ndarray, "object"]]:
+        """Layer-proposal folds (routed by vertex owner — owners
+        min/+-fold and forward one (u, min, count) triple per vertex to
+        the driver) and the per-shard result payloads.  Shared verbatim
+        by the serial and pooled paths, so their counters cannot drift.
+        """
+        from repro.ampc.pool import ShardResult
+
+        fold_u: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
+        fold_l: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
+        for sid, sh in enumerate(per_shard):
+            pu = sh["proof_u"]
+            pl = sh["proof_l"]
+            if not pu.size:
+                continue
             owners_p = owner_of(pu, self.num_shards)
             for dst in _sorted_unique(owners_p).tolist():
                 sel = owners_p == dst
@@ -855,7 +1524,7 @@ class MessageFabric:
 
         results: list[tuple[np.ndarray, ShardResult]] = []
         max_ball = 0
-        for sid, run in enumerate(runs):
+        for sid, sh in enumerate(per_shard):
             if fold_u[sid]:
                 fu = np.concatenate(fold_u[sid])
                 fl = np.concatenate(fold_l[sid])
@@ -874,27 +1543,29 @@ class MessageFabric:
             self._send(
                 comm, shard_words, 3 * len(vertices), src=sid
             )
-            result_words = 2 * len(run.roots)
+            result_words = 2 * len(sh["roots"])
             if want_records:
                 result_words += sum(
                     2 + len(record[0]) + 2 * len(record[1])
-                    for record in run.records
+                    for record in sh["records"]
                 )
-            if len(run.roots):
+            if len(sh["roots"]):
                 self._send(comm, shard_words, result_words, src=sid)
                 comm["result_words"] += result_words
-            if run.ball_words.size:
-                max_ball = max(max_ball, int(run.ball_words.max()))
-            comm["ejected_games"] += run.ejected_games
+            max_ball = max(max_ball, sh["ball_max"])
+            comm["ejected_games"] += sh["ejected_games"]
             results.append((
-                run.positions,
+                sh["positions"],
                 ShardResult(
-                    run.reads, run.writes, vertices, minima, counts,
-                    run.records if want_records else None,
-                    run.replay_stats or None,
+                    sh["reads"], sh["writes"], vertices, minima, counts,
+                    sh["records"] if want_records else None,
+                    sh["replay_stats"],
                 ),
             ))
-            run.finish()
+            guard = self.shards[sid].guard
+            guard.release("game_assignments")
+            guard.release("game_scratch")
+            guard.release("fold_accumulators")
 
         comm["max_shard_words"] = max(
             comm["max_shard_words"], max(shard_words)

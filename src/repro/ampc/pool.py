@@ -25,7 +25,13 @@ simulator exploits exactly that freedom, nothing more:
   :func:`~repro.core.columnar_rounds.play_coin_game` for the scalar
   oracle).  Rounds smaller than :func:`min_pool_games_for`'s
   engine-aware cutoff skip dispatch entirely — at that size the pool's
-  fixed cost exceeds the games.
+  fixed cost exceeds the games.  The executor itself never runs more
+  processes than the host has cores (``workers`` beyond that keeps
+  shaping the shard layout but not the process count): results are
+  bit-identical at any process count, and oversubscribed CPU-bound
+  workers only time-slice the same cores while multiplying kernel
+  page-fault overhead — the shape of the old superlinear
+  ``columnar_workers_s`` regression on 1-core hosts.
 - **Shared read-only round state.**  The round's residual CSR
   (offsets, targets) — plus, for the batched engine, the per-round CSR
   transpose-position map its replay arenas patch through — is published
@@ -72,6 +78,8 @@ from multiprocessing.shared_memory import SharedMemory
 from typing import NamedTuple
 
 import numpy as np
+
+from repro.ampc.messaging import MemoryGuardError
 
 __all__ = [
     "CoinGamePool",
@@ -340,6 +348,39 @@ def _play_shard(
     )
 
 
+def _play_fabric_shard(
+    csr_meta: tuple,
+    sid: int,
+    roots: np.ndarray,
+    positions: np.ndarray,
+    payload: dict,
+):
+    """Run one message-fabric shard's BSP chain inside a worker process.
+
+    The chain itself lives in :func:`repro.ampc.messaging.run_shard_chain`
+    — the worker only attaches the round's shared CSR (cached across the
+    round's shards) and applies the same fault hooks as
+    :func:`_play_shard`, so the failure-containment tests exercise both
+    dispatch paths identically.
+    """
+    fault = os.environ.get(_FAULT_ENV, "")
+    if fault == "raise":
+        raise RuntimeError("injected worker fault (test hook)")
+    if fault == "exit":  # pragma: no cover - exercised via subprocess
+        os._exit(17)
+    from repro.ampc.messaging import run_shard_chain
+
+    offsets, targets = _load_csr(*csr_meta[:4])
+    with defer_full_gc():
+        result = run_shard_chain(
+            offsets, targets, sid, roots=roots, positions=positions,
+            **payload,
+        )
+    if fault == "unpicklable":
+        return lambda: None  # poisoned result: cannot cross the pipe
+    return result
+
+
 # -- driver side -----------------------------------------------------------
 
 
@@ -363,6 +404,19 @@ class CoinGamePool:
             raise ValueError("chunks_per_worker must be >= 1")
         self.workers = workers
         self.chunks_per_worker = chunks_per_worker
+        # Requested parallelism and executor size are separate knobs:
+        # ``workers`` keeps driving the sharding math (so shard shapes
+        # — and therefore the dispatch pattern — depend only on what
+        # the caller asked for), while the executor never forks more
+        # processes than the host has cores.  Every observable is
+        # bit-identical at any process count, so processes beyond the
+        # cores can only add cost: each extra runnable CPU-bound worker
+        # time-slices the same cores and roughly doubles its kernel
+        # time in page-fault handling of freshly mapped kernel arenas
+        # (the tracked 1-core sweep recorded 11.3/31.4/102.6 s at
+        # workers 1/2/4 before this cap — a 9x blow-up where dispatch
+        # cost predicts ~1x).
+        self.procs = max(1, min(workers, os.cpu_count() or 1))
         self.closed = False
         self._executor: ProcessPoolExecutor | None = None
         # Snapshot of the GC thresholds workers should run with.  The
@@ -385,7 +439,7 @@ class CoinGamePool:
             except ValueError:  # pragma: no cover - non-fork platforms
                 mp_context = None
             self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
+                max_workers=self.procs,
                 mp_context=mp_context,
                 initializer=gc.set_threshold,
                 initargs=self._worker_gc_threshold,
@@ -472,6 +526,67 @@ class CoinGamePool:
             # dead process (BrokenProcessPool) — poisons the round: close
             # the pool (joining every worker, so nothing is orphaned) and
             # surface one clear error.
+            self.close(cancel=True)
+            raise WorkerPoolError(
+                f"coin-game worker pool failed mid-round: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+
+    def run_fabric_round(
+        self,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        jobs: list[tuple[int, np.ndarray, np.ndarray]],
+        payload: dict,
+        on_result,
+    ) -> None:
+        """Run message-fabric shard chains across the worker fleet.
+
+        ``jobs`` is ``[(sid, roots, positions), …]``; each dispatches
+        one :func:`repro.ampc.messaging.run_shard_chain` against the
+        round's shared CSR.  ``on_result(sid, result, others_running)``
+        fires in completion order, so the driver replays a finished
+        shard's communication accounting while the remaining shards are
+        still playing.
+
+        :class:`~repro.ampc.messaging.MemoryGuardError` passes through
+        verbatim — a budget violation is a protocol outcome the serial
+        fabric would have raised identically, not a pool fault, so the
+        executor stays healthy for the next run.  Any other fault closes
+        the pool (joining every worker) and raises
+        :class:`WorkerPoolError`, exactly like :meth:`run_games`.
+        """
+        if self.closed:
+            raise WorkerPoolError("coin-game worker pool is closed")
+        if not jobs:
+            return
+        segments: list[SharedMemory] = []
+        futures: dict = {}
+        try:
+            executor = self._ensure_executor()
+            csr_meta, segments = self._publish_csr(offsets, targets)
+            futures = {
+                executor.submit(
+                    _play_fabric_shard, csr_meta, sid, roots, positions,
+                    payload,
+                ): sid
+                for sid, roots, positions in jobs
+            }
+            outstanding = len(futures)
+            for done in as_completed(futures):
+                outstanding -= 1
+                on_result(futures[done], done.result(), outstanding > 0)
+        except MemoryGuardError:
+            for future in futures:
+                future.cancel()
+            raise
+        except WorkerPoolError:
+            raise
+        except Exception as exc:
             self.close(cancel=True)
             raise WorkerPoolError(
                 f"coin-game worker pool failed mid-round: "

@@ -310,8 +310,10 @@ def beta_partition_ampc(
 
     # Acquire the pool before suspending full GC: CoinGamePool snapshots
     # the gc thresholds its workers should restore at fork time.  The
-    # message fabric replaces the pool outright — its shards simulate
-    # the memory/communication discipline in-process.
+    # message fabric models the memory/communication discipline; with
+    # workers > 1 its shard chains run on the same persistent pool
+    # (each worker plays one shard's BSP rounds, the driver replays the
+    # communication), so transport and workers compose.
     fabric = None
     if transport == "message" and mode == "lca" and store == "columnar":
         fabric = MessageFabric(
@@ -322,7 +324,6 @@ def beta_partition_ampc(
     pool = (
         shared_pool(workers)
         if store == "columnar" and workers > 1 and mode == "lca"
-        and fabric is None
         else None
     )
     with defer_full_gc():

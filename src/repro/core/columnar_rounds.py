@@ -618,6 +618,14 @@ def lca_round_kernel(
             engine=engine,
             config=config,
             comm=comm,
+            # Shard chains dispatch to pool workers above the same
+            # amortization cutoff the pool path uses; smaller rounds
+            # (the long tail) run the shards in-process.  Either way
+            # the fabric's observables and counters are identical.
+            pool=(
+                pool if pool is not None and len(pending) >= min_pool_games
+                else None
+            ),
         ))
     elif pending and pool is not None and len(pending) >= min_pool_games:
         positions = np.asarray(pending, dtype=np.int64)
@@ -838,6 +846,15 @@ def play_coin_game(
                 if out_m:
                     touched.update(out_m)
             hot = new_hot
+        # Only vertices not yet in S_v are growth.  On a symmetric
+        # adjacency this is a no-op: explore() patches every record's
+        # outside split when a member crosses inside, so touched never
+        # intersects S_v.  Fabric shards replay games against held rows
+        # with missing rows read as empty (repro.ampc.messaging) — there
+        # the reverse edge that would trigger the patch may be missing,
+        # and an unpatched outside split would re-touch inside vertices
+        # every super-iteration, driving the loop to its x² bound.
+        touched.difference_update(inside)
         if not touched:
             grew = False
             break

@@ -154,6 +154,33 @@ def _reset_for_tests() -> None:
     _warned_fallback = False
 
 
+def _list_records_to_raw(info: BatchedGamesInfo) -> BatchedGamesInfo:
+    """Flatten list-form records into the ``raw_records`` array tuple
+    (used when a cohort falls back to the numpy oracle)."""
+    mems: list[int] = []
+    pus: list[int] = []
+    pls: list[int] = []
+    mem_counts: list[int] = []
+    proof_counts: list[int] = []
+    for rec in info.records:
+        if rec is None:
+            mem_counts.append(0)
+            proof_counts.append(0)
+            continue
+        mems.extend(rec[0])
+        mem_counts.append(len(rec[0]))
+        pus.extend(u for u, __ in rec[1])
+        pls.extend(lay for __, lay in rec[1])
+        proof_counts.append(len(rec[1]))
+    return info._replace(records=(
+        np.asarray(mems, dtype=np.int64),
+        np.asarray(pus, dtype=np.int64),
+        np.asarray(pls, dtype=np.int64),
+        np.asarray(mem_counts, dtype=np.int64),
+        np.asarray(proof_counts, dtype=np.int64),
+    ))
+
+
 def play_games_compiled(
     offsets: np.ndarray,
     targets: np.ndarray,
@@ -167,6 +194,7 @@ def play_games_compiled(
     out_layer: np.ndarray,
     out_count: np.ndarray,
     want_records: bool = False,
+    raw_records: bool = False,
     phases: dict | None = None,
     transpose_pos: np.ndarray | None = None,
     replay_stats: dict | None = None,
@@ -183,6 +211,14 @@ def play_games_compiled(
     to transpose and no cross-wave replay cache.  ``phases`` gains a
     single ``native`` bucket: fusing removes the explore/forward/fold
     phase boundaries by construction.
+
+    ``raw_records=True`` (with ``want_records``) skips the per-game
+    python-list marshalling: ``records`` is instead one flat tuple
+    ``(mem, proof_u, proof_layer, mem_counts, proof_counts)`` of int64
+    arrays — game ``g``'s members/proof are the ``counts``-delimited
+    segments (empty at ejected games).  The message fabric consumes
+    this directly: it remaps ids and filters invalid games vectorized,
+    so list records for games it will discard are never built.
     """
     del transpose_pos, replay_stats, arena_hint, cone_cutoff, poor_streak
     _load()
@@ -195,8 +231,14 @@ def play_games_compiled(
     num_games = len(roots)
     if not num_games:
         empty = np.empty(0, dtype=np.int64)
+        if not want_records:
+            recs = None
+        elif raw_records:
+            recs = tuple(empty.copy() for __ in range(5))
+        else:
+            recs = []
         return BatchedGamesInfo(
-            empty, empty.copy(), [] if want_records else None,
+            empty, empty.copy(), recs,
             empty.copy(), empty.copy(), empty.copy(),
         )
 
@@ -224,11 +266,14 @@ def play_games_compiled(
         # engine's all-ejected early path is already exact — use it.
         from repro.core.batched_games import play_games_batched
 
-        return play_games_batched(
+        info = play_games_batched(
             offsets, targets, roots, x=x, beta=beta, clip=clip,
             horizon=horizon, scale=scale, out_layer=out_layer,
             out_count=out_count, want_records=want_records, phases=phases,
         )
+        if want_records and raw_records:
+            info = _list_records_to_raw(info)
+        return info
 
     max_super = min(x * x, n + 2)
 
@@ -275,11 +320,14 @@ def play_games_compiled(
         # the numpy oracle can simply take over this cohort.
         from repro.core.batched_games import play_games_batched
 
-        return play_games_batched(
+        info = play_games_batched(
             offsets, targets, roots, x=x, beta=beta, clip=clip,
             horizon=horizon, scale=scale, out_layer=out_layer,
             out_count=out_count, want_records=want_records, phases=phases,
         )
+        if want_records and raw_records:
+            info = _list_records_to_raw(info)
+        return info
 
     records = None
     if want_records:
@@ -293,26 +341,33 @@ def play_games_compiled(
         mem_flat = arena(mem_pp, arena_lens[0])
         pu_flat = arena(pu_pp, arena_lens[1])
         pl_flat = arena(pl_pp, arena_lens[1])
-        mem_ends = np.cumsum(mem_counts)
-        proof_ends = np.cumsum(proof_counts)
-        records = []
-        mo = 0
-        po = 0
-        for g in range(num_games):
-            if ejected_flags[g]:
-                records.append(None)
-                continue
-            me = int(mem_ends[g])
-            pe = int(proof_ends[g])
-            proof = list(zip(
-                pu_flat[po:pe].tolist(), pl_flat[po:pe].tolist()
-            ))
-            records.append(
-                (mem_flat[mo:me].tolist(), proof, int(reads[g]),
-                 int(writes[g]))
+        if raw_records:
+            # Copies: the frombuffer views die with repro_buffers_free.
+            records = (
+                mem_flat.copy(), pu_flat.copy(), pl_flat.copy(),
+                mem_counts, proof_counts,
             )
-            mo = me
-            po = pe
+        else:
+            mem_ends = np.cumsum(mem_counts)
+            proof_ends = np.cumsum(proof_counts)
+            records = []
+            mo = 0
+            po = 0
+            for g in range(num_games):
+                if ejected_flags[g]:
+                    records.append(None)
+                    continue
+                me = int(mem_ends[g])
+                pe = int(proof_ends[g])
+                proof = list(zip(
+                    pu_flat[po:pe].tolist(), pl_flat[po:pe].tolist()
+                ))
+                records.append(
+                    (mem_flat[mo:me].tolist(), proof, int(reads[g]),
+                     int(writes[g]))
+                )
+                mo = me
+                po = pe
     lib.repro_buffers_free(mem_pp[0])
     lib.repro_buffers_free(pu_pp[0])
     lib.repro_buffers_free(pl_pp[0])

@@ -72,6 +72,52 @@ class TestFromEnv:
         with pytest.raises(ValueError, match="REPRO_ENGINE"):
             beta_partition_ampc(g, 9, store="columnar")
 
+    @pytest.mark.parametrize("name", [
+        "REPRO_COHORT_GAMES",
+        "REPRO_MIN_POOL_GAMES",
+        "REPRO_MIN_POOL_GAMES_BATCHED",
+        "REPRO_REPLAY_POOR_STREAK",
+        "REPRO_MESSAGE_CAP_WORDS",
+        "REPRO_SHARD_BUDGET_WORDS",
+    ])
+    def test_nonpositive_int_overrides_rejected_at_parse_time(self, name):
+        # A zero/negative knob used to pass straight through int() and
+        # fail deep inside the engine (or silently degenerate); now the
+        # error fires here and names the variable and value.
+        for raw in ("0", "-3"):
+            with pytest.raises(ValueError, match=name) as err:
+                EngineConfig.from_env(env={name: raw})
+            assert raw in str(err.value)
+
+    @pytest.mark.parametrize("name", [
+        "REPRO_COHORT_GAMES", "REPRO_REPLAY_CONE_CUTOFF", "REPRO_ENGINE",
+    ])
+    def test_non_numeric_overrides_name_the_variable(self, name):
+        with pytest.raises(ValueError, match=name) as err:
+            EngineConfig.from_env(env={name: "banana"})
+        assert "banana" in str(err.value)
+
+    def test_cone_cutoff_range_enforced(self):
+        with pytest.raises(ValueError, match="REPRO_REPLAY_CONE_CUTOFF"):
+            EngineConfig.from_env(env={"REPRO_REPLAY_CONE_CUTOFF": "1.5"})
+        with pytest.raises(ValueError, match="REPRO_REPLAY_CONE_CUTOFF"):
+            EngineConfig.from_env(env={"REPRO_REPLAY_CONE_CUTOFF": "-0.1"})
+        cfg = EngineConfig.from_env(env={"REPRO_REPLAY_CONE_CUTOFF": "0.0"})
+        assert cfg.replay_cone_cutoff == 0.0
+
+    def test_message_cap_floor_matches_fabric(self):
+        # The fabric rejects cap_words < 4 (one row header); the env
+        # parse must fail the same way instead of deferring the crash.
+        with pytest.raises(ValueError, match="REPRO_MESSAGE_CAP_WORDS"):
+            EngineConfig.from_env(env={"REPRO_MESSAGE_CAP_WORDS": "2"})
+
+    def test_misspelled_engine_rejected_at_parse_time(self):
+        # "compilde" used to thread silently until partition time.
+        with pytest.raises(ValueError, match="REPRO_ENGINE") as err:
+            EngineConfig.from_env(env={"REPRO_ENGINE": "compilde"})
+        assert "compilde" in str(err.value)
+        assert "compiled" in str(err.value)  # the valid choices are named
+
     def test_monkeypatched_constants_flow_through(self, monkeypatch):
         # Defaults are read at call time, so tests that pin a module
         # constant see their pin honored by from_env().

@@ -115,6 +115,29 @@ class TestMemoryGuard:
         with pytest.raises(ValueError):
             MemoryGuard().account("t", -1)
 
+    def test_over_budget_charge_rolls_back(self):
+        # The over-budget charge must not be committed before the raise:
+        # a caller that catches the error continues with accounting that
+        # reflects what the shard actually holds, not the rejected
+        # charge, and the peaks stay unpolluted.
+        guard = MemoryGuard(budget_words=100)
+        guard.account("owned_rows", 60)
+        guard.begin_round()
+        with pytest.raises(MemoryGuardError):
+            guard.account("game_scratch", 70)
+        assert guard.held_words() == 60
+        assert guard.peak == 60
+        assert guard.round_peak == 60
+        # The rejected tag holds nothing; a later in-budget charge of
+        # the same tag accounts from a clean slate.
+        guard.account("game_scratch", 30)
+        assert guard.held_words() == 90
+        with pytest.raises(MemoryGuardError):
+            guard.account("game_scratch", 50)
+        assert guard.held_words() == 90  # replace-charge rolled back too
+        guard.release("game_scratch")
+        assert guard.held_words() == 60
+
 
 class TestShardCountInvariance:
     @given(st.integers(min_value=0, max_value=2**31))

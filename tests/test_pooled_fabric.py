@@ -1,0 +1,170 @@
+"""Pooled message-fabric execution: the shard chains on the process pool.
+
+A fabric shard's BSP round is a pure function of (residual CSR, its
+roots, shard count, engine, config, budget): every row another shard
+would serve it is a verbatim CSR slice.  Running the chains on the
+worker pool (``transport="message"`` + ``workers > 1``) must therefore
+be bit-identical to the serial fabric — which is itself bit-identical
+to the shared-memory oracle — for every (engine, shards, workers)
+combination: partitions, per-round stats, *and* the communication
+counters and guard peaks the driver reconstructs by replaying each
+worker's request trace.
+
+Failure containment mirrors the plain pool path: a worker fault
+surfaces as one :class:`WorkerPoolError` with no orphan processes and
+no leaked shared-memory segments, while a :class:`MemoryGuardError` —
+a protocol outcome the serial fabric raises identically — passes
+through without poisoning the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.ampc.messaging import MemoryGuardError
+from repro.ampc.pool import _FAULT_ENV, WorkerPoolError, close_shared_pools
+from repro.core.beta_partition_ampc import beta_partition_ampc
+from repro.graphs.generators import random_gnm, union_of_random_forests
+
+# Keys whose values are wall-clock measurements, not protocol counts.
+_TIMING_KEYS = ("shard_wall_s", "comm_overlap_s")
+
+
+def _graph():
+    return random_gnm(150, 400, seed=23)
+
+
+def _partition(g, *, engine, workers=1, shards=None, **kw):
+    return beta_partition_ampc(
+        g, 6, x=25, store="columnar", engine=engine, workers=workers,
+        transport="message", shards=shards, min_pool_games=1, **kw
+    )
+
+
+def _counts(comm: dict) -> dict:
+    return {k: v for k, v in comm.items() if k not in _TIMING_KEYS}
+
+
+@pytest.fixture
+def fresh_pool_env():
+    close_shared_pools()
+    yield
+    os.environ.pop(_FAULT_ENV, None)
+    close_shared_pools()
+    assert multiprocessing.active_children() == []  # no orphan workers
+
+
+def _shm_segments() -> set[str]:
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class TestPooledDifferential:
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "compiled"])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 8])
+    def test_pooled_matches_serial_fabric_and_oracle(
+        self, engine, shards, fresh_pool_env
+    ):
+        g = _graph()
+        oracle = beta_partition_ampc(
+            g, 6, x=25, store="columnar", engine=engine
+        )
+        serial = _partition(g, engine=engine, workers=1, shards=shards)
+        pooled = _partition(g, engine=engine, workers=2, shards=shards)
+        assert pooled.partition.layers == oracle.partition.layers
+        assert pooled.partition.layers == serial.partition.layers
+        for ro, rp in zip(
+            oracle.simulator.stats.rounds, pooled.simulator.stats.rounds
+        ):
+            assert (ro.total_reads, ro.total_writes, ro.store_words) == (
+                rp.total_reads, rp.total_writes, rp.store_words
+            )
+        # The driver's trace replay must reconstruct the serial fabric's
+        # communication exactly: every word, message, sub-round, and
+        # guard peak — only the wall-clock keys may differ.
+        assert len(serial.round_comm) == len(pooled.round_comm)
+        for cs, cp in zip(serial.round_comm, pooled.round_comm):
+            assert _counts(cs) == _counts(cp)
+        assert pooled.max_held_words == serial.max_held_words
+
+    def test_workers_four_spot_check(self, fresh_pool_env):
+        g = _graph()
+        serial = _partition(g, engine="compiled", workers=1, shards=3)
+        pooled = _partition(g, engine="compiled", workers=4, shards=3)
+        assert pooled.partition.layers == serial.partition.layers
+        for cs, cp in zip(serial.round_comm, pooled.round_comm):
+            assert _counts(cs) == _counts(cp)
+        assert pooled.max_held_words == serial.max_held_words
+
+    def test_pooled_rounds_report_shard_wall_time(self, fresh_pool_env):
+        g = _graph()
+        pooled = _partition(g, engine="compiled", workers=2, shards=2)
+        serial = _partition(g, engine="compiled", workers=1, shards=2)
+        # Every dispatched round carries the slowest shard's in-worker
+        # wall time; the serial fabric reports zero (nothing dispatched).
+        assert any(c["shard_wall_s"] > 0 for c in pooled.round_comm)
+        assert all(c["shard_wall_s"] == 0 for c in serial.round_comm)
+        assert all(c["comm_overlap_s"] >= 0 for c in pooled.round_comm)
+
+
+class TestPooledBudget:
+    def test_budget_error_passes_through_and_pool_survives(
+        self, fresh_pool_env
+    ):
+        g = union_of_random_forests(200, 1, seed=7)
+        with pytest.raises(MemoryGuardError):
+            beta_partition_ampc(
+                g, 3, x=4, store="columnar", transport="message",
+                shards=2, workers=2, min_pool_games=1, shard_budget=50,
+            )
+        # A budget violation is a protocol outcome, not a pool fault:
+        # the same pool must serve the next (unbudgeted) run.
+        out = _partition(_graph(), engine="compiled", workers=2, shards=2)
+        ref = _partition(_graph(), engine="compiled", workers=1, shards=2)
+        assert out.partition.layers == ref.partition.layers
+
+    def test_budgeted_pooled_matches_serial_peaks(self, fresh_pool_env):
+        g = union_of_random_forests(600, 1, seed=7)
+        kw = dict(shards=16, shard_budget=40_000)
+        serial = _partition(g, engine="compiled", workers=1, **kw)
+        pooled = _partition(g, engine="compiled", workers=2, **kw)
+        assert pooled.partition.layers == serial.partition.layers
+        assert pooled.max_held_words == serial.max_held_words
+        assert pooled.max_held_words <= 40_000
+
+
+class TestPooledFaults:
+    def test_worker_exception_surfaces_and_cleans_up(self, fresh_pool_env):
+        before = _shm_segments()
+        os.environ[_FAULT_ENV] = "raise"
+        with pytest.raises(WorkerPoolError, match="injected worker fault"):
+            _partition(_graph(), engine="compiled", workers=2, shards=3)
+        assert _shm_segments() <= before  # no orphaned segments
+        assert multiprocessing.active_children() == []
+
+    def test_worker_death_surfaces_and_cleans_up(self, fresh_pool_env):
+        before = _shm_segments()
+        os.environ[_FAULT_ENV] = "exit"
+        with pytest.raises(WorkerPoolError, match="failed mid-round"):
+            _partition(_graph(), engine="compiled", workers=2, shards=3)
+        assert _shm_segments() <= before
+        assert multiprocessing.active_children() == []
+
+    def test_unpicklable_result_surfaces_clearly(self, fresh_pool_env):
+        os.environ[_FAULT_ENV] = "unpicklable"
+        with pytest.raises(WorkerPoolError, match="failed mid-round"):
+            _partition(_graph(), engine="compiled", workers=2, shards=3)
+
+    def test_faulted_pool_is_replaced_on_next_run(self, fresh_pool_env):
+        os.environ[_FAULT_ENV] = "raise"
+        with pytest.raises(WorkerPoolError):
+            _partition(_graph(), engine="compiled", workers=2, shards=3)
+        os.environ.pop(_FAULT_ENV)
+        out = _partition(_graph(), engine="compiled", workers=2, shards=3)
+        ref = _partition(_graph(), engine="compiled", workers=1, shards=3)
+        assert out.partition.layers == ref.partition.layers
