@@ -81,6 +81,9 @@ import os
 import sys
 import time
 
+from repro.ampc import faults
+from repro.ampc.engine_config import EngineConfig
+from repro.ampc.faults import FaultPlan
 from repro.ampc.pool import close_shared_pools
 from repro.core import native
 from repro.core.batched_games import replay_cone_fraction
@@ -148,6 +151,11 @@ MONOTONE_SLACK = 1.25
 # The tracked full-size margin is far larger; 2x keeps headroom for
 # the quick config's fixed per-round overhead (graph setup, folding).
 MIN_COMPILED_SPEEDUP = 2.0
+# The round supervisor's zero-fault bookkeeping (deadline polling,
+# result checksum verification) may cost at most this share of the
+# pooled run's wall clock — a within-run ratio, so no baseline or
+# hardware normalization applies.
+MAX_RECOVERY_OVERHEAD = 0.03
 
 
 def _time_run(graph, beta: int, mode: str, store: str, workers: int = 1,
@@ -169,6 +177,7 @@ def bench_mode(
     worker_sweep: tuple[int, ...] = (),
     phases: bool = False,
     repeats: int = 1,
+    chaos: bool = False,
 ) -> dict:
     """Columnar vs dict wall-clock for one Theorem 1.2 regime.
 
@@ -318,6 +327,20 @@ def bench_mode(
             sweep_s, sweep = _time_run(
                 graph, beta, mode, "columnar", workers=workers
             )
+            if workers == 2 and mode == "lca":
+                # Zero-fault recovery accounting from the first pooled
+                # run: every counter must be zero, and the supervisor's
+                # bookkeeping (deadline polling, checksum verification)
+                # must stay under MAX_RECOVERY_OVERHEAD of this run's
+                # own wall clock — both guarded by --check-regression.
+                rec = dict(sweep.round_recovery)
+                report["recovery"] = {
+                    "pool_wall_s": round(sweep_s, 3),
+                    "recovery_overhead_s": round(
+                        rec.pop("recovery_wall_s"), 4
+                    ),
+                    **rec,
+                }
             for __ in range(repeats - 1):
                 sweep_s = min(
                     sweep_s,
@@ -354,6 +377,31 @@ def bench_mode(
                 assert sweep.partition.layers == columnar.partition.layers
                 fabric_scaling[str(workers)] = round(sweep_s, 3)
             report["message"]["message_workers_s"] = fabric_scaling
+        if chaos and mode == "lca":
+            # The degraded-serial leg (quick config only): a rate=1.0
+            # crash plan makes every pool attempt fail, so after
+            # max_shard_retries the supervisor runs every shard chain
+            # inline on the driver — and the partition must still be
+            # bit-identical.  Guarded by --check-regression so the
+            # degradation path cannot silently rot.
+            plan = FaultPlan(seed=QUICK_CONFIG["seed"], rate=1.0,
+                             kinds=("crash",))
+            fast = EngineConfig.from_env().with_overrides(
+                retry_backoff_s=0.0
+            )
+            with faults.inject(plan):
+                degraded_s, degraded = _time_run(
+                    graph, beta, mode, "columnar", workers=2, config=fast,
+                )
+            rec = degraded.round_recovery
+            report.setdefault("recovery", {})["degraded"] = {
+                "degraded_s": round(degraded_s, 3),
+                "degraded_shards": rec["degraded_shards"],
+                "retries": rec["retries"],
+                "bit_identical": (
+                    degraded.partition.layers == columnar.partition.layers
+                ),
+            }
         close_shared_pools()
         # Recorded next to the sweep so a reader (and the regression
         # guard) can tell dispatch cost from plain time-slicing.
@@ -367,6 +415,7 @@ def run(
     worker_sweep: tuple[int, ...] = (),
     phases: bool = False,
     repeats: int = 1,
+    chaos: bool = False,
 ) -> dict:
     graph = random_gnm(config["n"], config["m"], config["seed"])
     return {
@@ -374,7 +423,7 @@ def run(
         "config": dict(config),
         "lca": bench_mode(
             graph, config["beta"], "lca", check_equivalence, worker_sweep,
-            phases=phases, repeats=repeats,
+            phases=phases, repeats=repeats, chaos=chaos,
         ),
         "peel": bench_mode(
             graph, max(2, config["beta"] // 2), "peel", check_equivalence
@@ -410,7 +459,13 @@ def check_regression(report: dict, baseline: dict) -> tuple[list[str], list[str]
     when the fused C kernel loaded, the same run's compiled leg must
     beat its batched leg by :data:`MIN_COMPILED_SPEEDUP` on the quick
     config; a missing compiled leg is a waiver when the kernel cannot
-    load (the engine-fallback CI step) and a failure when it can.
+    load (the engine-fallback CI step) and a failure when it can.  The
+    quick config additionally guards the round supervisor: a clean run
+    must record zero recovery counters, the supervisor's bookkeeping
+    (deadline polling, result checksums) must cost under
+    :data:`MAX_RECOVERY_OVERHEAD` of the pooled wall clock, and the
+    degraded-to-serial leg (every pool attempt faulted) must stay
+    bit-identical — all within-run ratios, no normalization.
     """
     section = (
         "quick" if report["config"] == baseline.get("quick", {}).get("config")
@@ -523,6 +578,56 @@ def check_regression(report: dict, baseline: dict) -> tuple[list[str], list[str]
                     f"{message['message_s']:.3f}s is {ratio:.1f}x the "
                     f"same-run compiled {report['lca']['compiled_s']:.3f}s "
                     f"(>{MAX_MESSAGE_OVER_COMPILED:.0f}x budget)"
+                )
+    recovery = report["lca"].get("recovery")
+    if section == "quick":
+        # Supervisor guards, all within-run (no baseline normalization):
+        # a clean CI run must inject zero faults, the supervisor's
+        # bookkeeping must stay under MAX_RECOVERY_OVERHEAD of the
+        # pooled wall clock, and the degraded-serial leg must still be
+        # bit-identical.
+        if recovery is None:
+            failures.append(
+                "the quick run has no lca recovery block (the supervisor "
+                "overhead guard cannot silently drop out; run with the "
+                "quick worker sweep)"
+            )
+        else:
+            fault_counts = {
+                k: v for k, v in recovery.items()
+                if isinstance(v, int) and v
+            }
+            if fault_counts:
+                failures.append(
+                    f"zero-fault pooled run recovered from faults: "
+                    f"{fault_counts} (real worker loss, or a fault plan "
+                    "leaked into the bench environment)"
+                )
+            overhead = recovery["recovery_overhead_s"]
+            budget = MAX_RECOVERY_OVERHEAD * recovery["pool_wall_s"]
+            if overhead > budget:
+                failures.append(
+                    f"supervisor recovery overhead {overhead:.4f}s exceeds "
+                    f"{MAX_RECOVERY_OVERHEAD:.0%} of the pooled wall clock "
+                    f"{recovery['pool_wall_s']:.3f}s (checksum/deadline "
+                    "bookkeeping got expensive)"
+                )
+            degraded = recovery.get("degraded")
+            if degraded is None:
+                failures.append(
+                    "the quick run has no degraded-serial leg (the "
+                    "degradation guard cannot silently drop out)"
+                )
+            elif not degraded["bit_identical"]:
+                failures.append(
+                    "the degraded-serial path diverged from the serial "
+                    "partition (inline re-execution is no longer "
+                    "bit-identical)"
+                )
+            elif degraded["degraded_shards"] == 0:
+                failures.append(
+                    "the degraded-serial leg degraded zero shards (the "
+                    "rate=1.0 crash plan stopped reaching the workers)"
                 )
     compiled_s = report["lca"].get("compiled_s")
     if compiled_s is None:
@@ -673,6 +778,7 @@ def main() -> None:
     report = run(
         config, check_equivalence=args.quick, worker_sweep=sweep,
         phases=args.phases, repeats=3 if args.quick else 1,
+        chaos=args.quick,
     )
     if args.quick_baseline and not args.quick:
         quick = run(QUICK_CONFIG, check_equivalence=True, repeats=3, phases=True)

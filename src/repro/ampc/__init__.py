@@ -4,6 +4,13 @@ from repro.ampc.columnar import ColumnStore
 from repro.ampc.cost import ExecutionStats, RoundStats
 from repro.ampc.dds import EMPTY, DataStore
 from repro.ampc.engine_config import EngineConfig
+from repro.ampc.faults import (
+    ChecksumError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    inject,
+)
 from repro.ampc.machine import BatchMachineContext, MachineContext, SpaceExceeded
 from repro.ampc.messaging import (
     MemoryGuard,
@@ -25,12 +32,16 @@ from repro.ampc.sorting import SortCostReport, broadcast_tree_sort
 __all__ = [
     "AMPCSimulator",
     "BatchMachineContext",
+    "ChecksumError",
     "CoinGamePool",
     "ColumnStore",
     "DataStore",
     "EMPTY",
     "EngineConfig",
     "ExecutionStats",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "MPCSimulator",
     "MachineContext",
     "MemoryGuard",
@@ -42,6 +53,7 @@ __all__ = [
     "WorkerPoolError",
     "broadcast_tree_sort",
     "close_shared_pools",
+    "inject",
     "owner_of",
     "resolve_workers",
     "shared_pool",

@@ -57,6 +57,15 @@ def _env_float(name: str, raw: str, low: float, high: float) -> float:
     return value
 
 
+def _env_bool(name: str, raw: str) -> bool:
+    lowered = raw.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"{name}={raw!r} is not a boolean (use 0/1)")
+
+
 def _env_engine(name: str, raw: str) -> str:
     if raw not in _ENGINE_NAMES:
         choices = ", ".join(f'"{e}"' for e in _ENGINE_NAMES)
@@ -81,6 +90,19 @@ class EngineConfig:
     replay_poor_streak: int
     message_cap_words: int
     shard_budget_words: int | None = None
+    # Round-supervisor knobs (repro.ampc.pool): how many times a lost
+    # or corrupted shard chain is re-dispatched before the driver runs
+    # it inline (or, with pool_degrade=False, raises WorkerPoolError);
+    # the base of the seed-jittered exponential retry backoff; the hard
+    # per-shard wall-clock deadline; and the adaptive multiple of the
+    # slowest observed sibling shard a still-running shard may take
+    # before it is presumed hung and killed.  All recovery knobs — a
+    # recovered round is bit-identical to an undisturbed one.
+    max_shard_retries: int = 2
+    retry_backoff_s: float = 0.05
+    pool_deadline_s: float = 300.0
+    pool_deadline_scale: float = 25.0
+    pool_degrade: bool = True
     # Game engine when the caller passes engine=None: "batched",
     # "compiled", or "scalar" (``REPRO_ENGINE``); None keeps the
     # built-in default ("batched").  Engine choice never changes
@@ -142,6 +164,25 @@ class EngineConfig:
             ),
             shard_budget_words=get(
                 "REPRO_SHARD_BUDGET_WORDS", None, _env_int, 1
+            ),
+            max_shard_retries=get(
+                "REPRO_MAX_SHARD_RETRIES", pool.MAX_SHARD_RETRIES,
+                _env_int, 0,
+            ),
+            retry_backoff_s=get(
+                "REPRO_RETRY_BACKOFF_S", pool.RETRY_BACKOFF_S,
+                _env_float, 0.0, 3600.0,
+            ),
+            pool_deadline_s=get(
+                "REPRO_POOL_DEADLINE_S", pool.POOL_DEADLINE_S,
+                _env_float, 0.001, float("inf"),
+            ),
+            pool_deadline_scale=get(
+                "REPRO_POOL_DEADLINE_SCALE", pool.POOL_DEADLINE_SCALE,
+                _env_float, 1.0, float("inf"),
+            ),
+            pool_degrade=get(
+                "REPRO_POOL_DEGRADE", pool.POOL_DEGRADE, _env_bool
             ),
             engine=get("REPRO_ENGINE", None, _env_engine),
         )

@@ -1,0 +1,355 @@
+"""Deterministic seeded fault injection + payload checksums for the pool.
+
+The round supervisor (:mod:`repro.ampc.pool`) promises that worker loss,
+hangs, and corrupted results are *recovered from*, not merely detected —
+a lost shard chain is re-executed bit-identically because it is a pure
+function of its inputs.  Testing that promise needs faults that are
+
+- **deterministic** — a chaos run must be reproducible from one seed, so
+  a failing schedule can be replayed exactly;
+- **addressable** — keyed by ``(round, shard, attempt)``, where
+  ``round`` is the pool's monotonically increasing dispatch sequence
+  number, so a test can fault *the second attempt of shard 3 in
+  dispatch 7* and nothing else (and so a retried attempt draws a fresh
+  fault decision instead of deterministically re-failing forever);
+- **in-band** — the plan rides inside each shard's pickled payload, so
+  changing it never requires respawning workers, and an explicitly
+  :func:`inject`-ed plan always beats the ``REPRO_FAULT_PLAN``
+  environment shim CI uses to chaos-run the whole suite.
+
+Fault kinds
+-----------
+
+``crash``
+    The worker raises :class:`InjectedFault` before playing — the
+    picklable-exception loss path (retried by the supervisor).
+``exit``
+    The worker process dies with ``os._exit`` — the dead-process path:
+    the executor breaks, every in-flight shard is lost, and the
+    supervisor tears the pool down and respawns it.
+``hang``
+    The worker sleeps ``hang_s`` seconds before playing — the deadline
+    path: a driver whose computed deadline is shorter kills the worker
+    and treats the shard as lost; a longer deadline just sees a slow
+    success (both converge to the same observables).
+``slow``
+    The worker sleeps ``slow_s`` seconds, then plays normally — jitter
+    for completion order, which no observable may depend on.
+``garbage``
+    The worker corrupts one checksummed array of its result *after*
+    computing the checksum — the integrity path: the driver's re-check
+    fails and converts the corruption into a retry.
+``unpicklable``
+    The worker returns a lambda — the result cannot cross the pipe, so
+    the future fails with a pickling error (another retriable loss).
+``shm-detach``
+    The worker drops its cached shared-memory CSR attachment and raises
+    — the lost-segment path: the retry re-attaches from the driver's
+    still-alive segments.
+
+Checksums
+---------
+
+:func:`payload_checksum` combines a CRC-32 of each array's bytes with
+its byte length through a splitmix64 finalizer, chained across arrays —
+an xxhash-style order-sensitive digest that is cheap enough to verify
+on every shard result (the <3% recovery-overhead bench guard covers
+it).  :func:`rows_checksum` is the same digest over a row-resolution
+payload ``[(vertex, row), …]`` — the integrity contract a future
+socket/MPI transport attaches to every row message
+(:meth:`repro.ampc.messaging._Shard.install_ghosts` verifies it).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+import zlib
+from typing import Iterable, Mapping, NamedTuple
+
+import numpy as np
+
+__all__ = [
+    "ChecksumError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "apply_pre",
+    "inject",
+    "payload_checksum",
+    "rows_checksum",
+]
+
+FAULT_KINDS = (
+    "crash", "exit", "hang", "slow", "garbage", "unpicklable", "shm-detach",
+)
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_M64 = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix64(z: int) -> int:
+    """The splitmix64 finalizer (same mix as ``messaging.owner_of``)."""
+    z &= _M64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+    return z ^ (z >> 31)
+
+
+class ChecksumError(RuntimeError):
+    """A payload failed its integrity check (corrupted in transit)."""
+
+
+class InjectedFault(RuntimeError):
+    """An injected worker fault (raised by ``crash``/``shm-detach``)."""
+
+
+class FaultSpec(NamedTuple):
+    """One resolved fault: what to do and (for hang/slow) for how long."""
+
+    kind: str
+    seconds: float = 0.0
+
+
+class FaultPlan:
+    """A deterministic schedule of worker faults keyed by
+    ``(round, shard, attempt)``.
+
+    ``entries`` maps explicit keys to kinds.  A ``seed`` additionally
+    samples faults for *every* key: the key is hashed through splitmix64
+    and faults with probability ``rate``, drawing the kind from
+    ``kinds`` — reproducible chaos at any dispatch count.  ``attempts``
+    (when set) restricts seeded faults to attempt indices below it, so
+    a schedule can be made survivable-by-retry by construction;
+    ``rate=1.0`` with ``attempts=None`` faults every attempt of every
+    shard and forces the supervisor's degraded-to-serial path.
+
+    Plans are picklable (they ride in shard payloads) and encode to a
+    ``key=value;…`` string (:meth:`spec`) round-trippable through
+    :meth:`parse` — the ``REPRO_FAULT_PLAN`` shim CI uses.
+    """
+
+    def __init__(
+        self,
+        entries: Mapping[tuple[int, int, int], str] | None = None,
+        *,
+        seed: int | None = None,
+        rate: float = 0.0,
+        kinds: Iterable[str] = ("crash",),
+        attempts: int | None = None,
+        hang_s: float = 30.0,
+        slow_s: float = 0.02,
+    ) -> None:
+        self.entries = {}
+        for key, kind in dict(entries or {}).items():
+            rnd, shard, attempt = (int(c) for c in key)
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+                )
+            self.entries[(rnd, shard, attempt)] = kind
+        self.seed = None if seed is None else int(seed)
+        self.rate = float(rate)
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError("rate must be in [0, 1]")
+        self.kinds = tuple(kinds)
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+                )
+        if self.rate > 0.0 and self.seed is not None and not self.kinds:
+            raise ValueError("a seeded plan needs at least one kind")
+        self.attempts = None if attempts is None else int(attempts)
+        self.hang_s = float(hang_s)
+        self.slow_s = float(slow_s)
+
+    def lookup(self, rnd: int, shard: int, attempt: int) -> FaultSpec | None:
+        """The fault (if any) for this dispatch/shard/attempt key."""
+        kind = self.entries.get((rnd, shard, attempt))
+        if (
+            kind is None
+            and self.seed is not None
+            and self.rate > 0.0
+            and (self.attempts is None or attempt < self.attempts)
+        ):
+            h = _mix64(self.seed + _GAMMA)
+            for coord in (rnd, shard, attempt):
+                h = _mix64(h ^ (coord + _GAMMA))
+            if (h >> 11) / float(1 << 53) < self.rate:
+                kind = self.kinds[_mix64(h + 1) % len(self.kinds)]
+        if kind is None:
+            return None
+        if kind == "hang":
+            return FaultSpec(kind, self.hang_s)
+        if kind == "slow":
+            return FaultSpec(kind, self.slow_s)
+        return FaultSpec(kind)
+
+    def spec(self) -> str:
+        """The ``key=value;…`` encoding :meth:`parse` round-trips."""
+        parts = []
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.rate:
+            parts.append(f"rate={self.rate}")
+        if self.seed is not None or self.rate:
+            parts.append("kinds=" + "+".join(self.kinds))
+        if self.attempts is not None:
+            parts.append(f"attempts={self.attempts}")
+        parts.append(f"hang_s={self.hang_s}")
+        parts.append(f"slow_s={self.slow_s}")
+        if self.entries:
+            parts.append("at=" + "+".join(
+                f"{kind}@{r}.{s}.{a}"
+                for (r, s, a), kind in sorted(self.entries.items())
+            ))
+        return ";".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the env-shim syntax, e.g.
+        ``"seed=7;rate=0.2;kinds=crash+garbage+slow"`` or
+        ``"at=crash@0.1.0+hang@2.0.1;hang_s=30"``.
+        """
+        kwargs: dict = {}
+        entries: dict[tuple[int, int, int], str] = {}
+        for part in text.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not sep or not value:
+                raise ValueError(
+                    f"bad fault-plan entry {part!r} (want key=value)"
+                )
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "rate":
+                kwargs["rate"] = float(value)
+            elif key == "kinds":
+                kwargs["kinds"] = tuple(value.split("+"))
+            elif key == "attempts":
+                kwargs["attempts"] = int(value)
+            elif key in ("hang_s", "slow_s"):
+                kwargs[key] = float(value)
+            elif key == "at":
+                for item in value.split("+"):
+                    kind, sep2, coords = item.partition("@")
+                    cs = coords.split(".")
+                    if not sep2 or len(cs) != 3:
+                        raise ValueError(
+                            f"bad explicit fault {item!r} "
+                            "(want kind@round.shard.attempt)"
+                        )
+                    entries[tuple(int(c) for c in cs)] = kind
+            else:
+                raise ValueError(f"unknown fault-plan key {key!r}")
+        return cls(entries, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.spec()!r})"
+
+
+# Explicitly injected plan (driver side).  A module global rather than a
+# parameter thread-through: the plan is test machinery, resolved once
+# per dispatch and shipped inside the shard payloads — production call
+# sites never mention it.
+_ACTIVE: FaultPlan | None = None
+_ACTIVE_SET = False
+# One-slot cache of the env-shim parse, keyed by the raw string.
+_ENV_CACHE: tuple[str, FaultPlan] | None = None
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan | None):
+    """Activate ``plan`` for pool dispatches inside the block.
+
+    An injected plan (even ``None``) beats the ``REPRO_FAULT_PLAN``
+    environment shim, so a test pinning its own schedule is isolated
+    from a CI-wide chaos run.
+    """
+    global _ACTIVE, _ACTIVE_SET
+    prev, prev_set = _ACTIVE, _ACTIVE_SET
+    _ACTIVE, _ACTIVE_SET = plan, True
+    try:
+        yield plan
+    finally:
+        _ACTIVE, _ACTIVE_SET = prev, prev_set
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan the next dispatch should ship: :func:`inject`'s, else
+    the parsed ``REPRO_FAULT_PLAN`` environment shim, else None."""
+    global _ENV_CACHE
+    if _ACTIVE_SET:
+        return _ACTIVE
+    raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    if not raw:
+        return None
+    if _ENV_CACHE is None or _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, FaultPlan.parse(raw))
+    return _ENV_CACHE[1]
+
+
+def apply_pre(spec: FaultSpec | None) -> None:
+    """Apply a fault's *pre-play* effect inside the worker process.
+
+    ``garbage``/``unpicklable`` act on the result instead (the pool's
+    corruption hook); everything else fires here, before any work.
+    """
+    if spec is None:
+        return
+    if spec.kind == "crash":
+        raise InjectedFault("injected worker fault: crash")
+    if spec.kind == "exit":  # pragma: no cover - kills the process
+        os._exit(17)
+    if spec.kind in ("hang", "slow"):
+        time.sleep(spec.seconds)
+        return
+    if spec.kind == "shm-detach":
+        # Simulate losing the shared-memory attachment mid-round: drop
+        # the worker's cached CSR so the retry must re-attach from the
+        # driver's (still alive) segments, then fail this attempt.
+        from repro.ampc import pool
+
+        pool._CSR_CACHE.update(key=None, csr=None, adj=None, transpose=None)
+        raise InjectedFault("injected worker fault: shm-detach")
+
+
+# -- integrity checksums ---------------------------------------------------
+
+
+def payload_checksum(*items) -> int:
+    """Order-sensitive digest of arrays/bytes: per-item CRC-32 + length,
+    chained through the splitmix64 finalizer (xxhash-style: fast block
+    digest feeding a strong 64-bit avalanche)."""
+    h = 0x243F6A8885A308D3
+    for item in items:
+        if isinstance(item, (bytes, bytearray, memoryview)):
+            buf = bytes(item)
+            nbytes = len(buf)
+        else:
+            arr = np.ascontiguousarray(item)
+            buf = arr
+            nbytes = arr.nbytes
+        h = _mix64(h ^ zlib.crc32(buf))
+        h = _mix64(h ^ nbytes)
+    return h
+
+
+def rows_checksum(rows: list[tuple[int, np.ndarray]]) -> int:
+    """Digest of one row-resolution payload ``[(vertex, row), …]``."""
+    h = 0x452821E638D01377
+    for v, row in rows:
+        h = _mix64(h ^ (int(v) + _GAMMA))
+        arr = np.ascontiguousarray(row, dtype=np.int64)
+        h = _mix64(h ^ zlib.crc32(arr))
+        h = _mix64(h ^ len(arr))
+    return h

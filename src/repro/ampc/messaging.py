@@ -158,10 +158,46 @@ Observable state stays honest on both sides of the process boundary:
   position-disjoint, and records key by root — so worker completion
   order (racy by nature) cannot perturb any observable.
 
+Retry safety (the supervisor's failure contract)
+------------------------------------------------
+
+The same purity argument makes shard loss *recoverable*, not just
+parallelizable: a crashed, hung, or corrupted shard chain is re-run
+from the same ``(CSR, roots, shard count, engine, config, budget)``
+inputs and produces the same result bit for bit, so the pool's round
+supervisor (:meth:`repro.ampc.pool.CoinGamePool._run_supervised`) may
+retry, respawn, or fall back to inline driver execution without any
+observable noticing.  Three properties carry the argument across this
+module's state:
+
+- **Comm replay is exactly-once, not idempotent.**  Replaying a
+  shard's ``(missing, speculative)`` trace twice would double the
+  message counters, so the supervisor delivers each shard's result to
+  the driver exactly once, only after its checksum verifies; a lost or
+  corrupted attempt is discarded *before* any driver state mutates.
+- **Guard adoption is protected by the same ordering.**  A faulted
+  attempt never reaches :meth:`MemoryGuard.adopt` — verification runs
+  first — so a fault "mid-adopt" cannot exist on the driver: the
+  guard either adopts one verified attempt's peaks or none, and
+  ``adopt`` itself is a pure max/assign merge per tag.
+- **Row payloads are integrity-checked.**  Every worker result carries
+  a splitmix64-chained CRC over its arrays and trace
+  (:func:`repro.ampc.faults.payload_checksum`), and row-resolution
+  deliveries into :meth:`MessageFabric.install_ghosts` verify a
+  :func:`repro.ampc.faults.rows_checksum` when one is supplied —
+  corruption becomes a detected retry, never a wrong partition.
+
+A :class:`MemoryGuardError` stays a deterministic protocol outcome:
+the serial fabric would raise it identically, so the supervisor never
+retries it and passes it through with the pool intact.
+
 The BSP sub-round loop plus the typed, size-capped messages above are
 deliberately the narrow waist: a true multi-host backend (sockets,
 MPI) replaces the pool dispatch and the driver's replay loop with real
-transport, and nothing above this module needs to change.
+transport, and the supervisor is the failure contract such a backend
+plugs into — it supplies loss detection (deadlines), bounded
+re-execution, and degradation; the transport only has to report
+faults.
 """
 
 from __future__ import annotations
@@ -169,6 +205,8 @@ from __future__ import annotations
 import time
 
 import numpy as np
+
+from repro.ampc import faults
 
 __all__ = [
     "MESSAGE_CAP_WORDS",
@@ -457,7 +495,23 @@ class _Shard:
 
     # -- ghost fringe ------------------------------------------------------
 
-    def install_ghosts(self, rows: list[tuple[int, np.ndarray]]) -> None:
+    def install_ghosts(
+        self,
+        rows: list[tuple[int, np.ndarray]],
+        checksum: int | None = None,
+    ) -> None:
+        # A checksum (computed by the serving side over the same
+        # payload) guards the row-resolution delivery: a corrupted
+        # batch is rejected *before* any ghost mutates, so the caller
+        # can convert it into a retry.
+        if checksum is not None:
+            observed = faults.rows_checksum(rows)
+            if observed != checksum:
+                raise faults.ChecksumError(
+                    f"row-resolution payload checksum mismatch on shard "
+                    f"{self.sid}: expected {checksum:#x}, got "
+                    f"{observed:#x}"
+                )
         words = self._ghost_words
         ghosts = self.ghosts
         for v, row in rows:
@@ -1078,10 +1132,11 @@ def run_shard_chain(
                 offsets, targets, deg, miss, radius, shard, spec_cap
             )
             wanted = np.concatenate([miss, extra]) if extra.size else miss
-            shard.install_ghosts([
+            rows = [
                 (v, targets[offsets[v]:offsets[v + 1]].copy())
                 for v in wanted.tolist()
-            ])
+            ]
+            shard.install_ghosts(rows, checksum=faults.rows_checksum(rows))
             run.attribute_expansions(set(extra.tolist()))
         shard.evict_ghosts(run.pinned_ghosts())
         if run.pending().size:
@@ -1355,7 +1410,9 @@ class MessageFabric:
                         messages=self._row_segments(row_words),
                     )
                     comm["rows_served"] += len(rows)
-                    shard.install_ghosts(rows)
+                    shard.install_ghosts(
+                        rows, checksum=faults.rows_checksum(rows)
+                    )
                 runs[sid].attribute_expansions(set(extra.tolist()))
             for run in runs:
                 run.shard.evict_ghosts(run.pinned_ghosts())

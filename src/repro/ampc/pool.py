@@ -59,10 +59,59 @@ is a pure throughput knob: the differential harness
 (``tests/test_parallel_equivalence.py``) asserts equality against the
 serial dict-backed oracle for every (store, workers) combination.
 
-Failure containment: any worker fault (an exception mid-shard, an
-unpicklable result, a dead process) closes the pool — joining every
-worker so no orphan processes survive — and surfaces as a single
-:class:`WorkerPoolError` naming the cause.  ``workers=1`` never creates
+Fault tolerance: the round supervisor
+--------------------------------------
+
+Dispatch is supervised (:meth:`CoinGamePool._run_supervised`): every
+shard future carries a ``(dispatch round, shard, attempt)`` identity,
+and a shard that is *lost* — a worker exception, a dead process
+(``BrokenProcessPool``), an unpicklable result, a checksum mismatch, or
+a future that outlives its deadline — is re-dispatched up to
+``max_shard_retries`` times with seed-jittered exponential backoff
+before the driver runs it inline as the last resort.  The whole scheme
+rests on one invariant, proved by the pooled-fabric work: **a shard is
+a pure function of its inputs** (the published round CSR, its roots,
+and the run's config), so re-executing lost work — in a fresh worker,
+a respawned pool, or inline on the driver — produces bit-identical
+results, and the commutative min/+ result folds make the retry
+*schedule* (which attempt finally landed, in what order) invisible to
+every observable.  Concretely:
+
+- **Deadlines / hang detection.**  Each running future is held to
+  ``pool_deadline_s``, tightened to ``pool_deadline_scale ×`` the
+  slowest completed sibling once one lands.  Expiry kills the worker
+  processes (a running future cannot be cancelled), counts a
+  ``deadline_kill``, and re-queues every in-flight shard.
+- **Self-healing.**  A broken or killed executor is torn down — workers
+  terminated and reaped, so nothing is orphaned — and respawned with
+  backoff on the next submission instead of poisoning subsequent
+  rounds; the round's shared-memory segments stay owned by the driver
+  (published before dispatch, unlinked in one ``finally``), so
+  respawns and retries re-attach to the same segments and no fault
+  schedule can leak a ``/dev/shm`` entry.
+- **Integrity.**  Workers stamp an xxhash-style checksum
+  (:func:`repro.ampc.faults.payload_checksum`) over every result array;
+  the driver re-verifies before folding, so a corrupted result becomes
+  a ``checksum_reject`` retry, never a wrong partition.
+- **Graceful degradation.**  A shard still failing after
+  ``max_shard_retries`` runs inline on the driver (serial execution of
+  the same pure function — bit-identical, just not parallel);
+  :class:`WorkerPoolError` is reserved for inline execution itself
+  failing, or for ``pool_degrade=False`` callers who prefer fail-fast.
+  It then carries structured context (round, shard, attempts,
+  per-attempt outcomes) with ``__cause__`` chained.
+- **Protocol outcomes pass through.**  A deterministic outcome the
+  serial path would raise identically —
+  :class:`~repro.ampc.messaging.MemoryGuardError` — is never retried:
+  replaying a pure function cannot change it.
+
+Recovery is observable-invisible but not silent: the pool counts
+retries, respawns, deadline kills, checksum rejects, worker faults,
+degraded shards, and recovery wall time (:attr:`CoinGamePool.recovery`,
+surfaced per run as ``BetaPartitionOutcome.round_recovery`` and in the
+bench's ``recovery`` block).  Chaos schedules are injected
+deterministically via :mod:`repro.ampc.faults` (``FaultPlan``; CI runs
+the suite under ``REPRO_FAULT_PLAN``).  ``workers=1`` never creates
 processes at all; it is the serial in-process path.
 """
 
@@ -73,12 +122,20 @@ import contextlib
 import gc
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from multiprocessing.shared_memory import SharedMemory
 from typing import NamedTuple
 
 import numpy as np
 
+from repro.ampc import faults
+from repro.ampc.faults import ChecksumError, payload_checksum
 from repro.ampc.messaging import MemoryGuardError
 
 __all__ = [
@@ -87,13 +144,10 @@ __all__ = [
     "WorkerPoolError",
     "close_shared_pools",
     "defer_full_gc",
+    "new_recovery_counters",
     "resolve_workers",
     "shared_pool",
 ]
-
-# Test hook (see tests/test_failure_injection.py): set before the pool
-# forks to make every worker shard misbehave in a controlled way.
-_FAULT_ENV = "_REPRO_POOL_FAULT"
 
 # Rounds with fewer pending games than this run in-process even when a
 # pool is available: publishing the CSR, pickling shards, and collecting
@@ -111,6 +165,41 @@ MIN_POOL_GAMES = 256
 # transpose publication, worker attach, result pickles) exceeds what the
 # lockstep kernels spend playing them, and the round stays in-process.
 MIN_POOL_GAMES_BATCHED = 2048
+
+# Round-supervisor defaults (EngineConfig fields / REPRO_* env overrides
+# of the same names thread per-run values through; see the module
+# docstring's fault-tolerance section).  How many re-dispatches a lost
+# shard gets before the driver degrades it to inline execution:
+MAX_SHARD_RETRIES = 2
+# Base of the seed-jittered exponential backoff between re-dispatches
+# (and before an executor respawn):
+RETRY_BACKOFF_S = 0.05
+# Hard wall-clock deadline for one running shard future.  Generous by
+# design — production rounds are seconds, so the hard cap only catches
+# true hangs; the adaptive bound below does the fine-grained work:
+POOL_DEADLINE_S = 300.0
+# Once any sibling shard of the same dispatch has completed, a
+# still-running shard is presumed hung after this multiple of the
+# slowest completed sibling (floored at 1s so millisecond shards cannot
+# trip it on scheduler noise):
+POOL_DEADLINE_SCALE = 25.0
+# Whether a shard that exhausts its retries degrades to inline driver
+# execution (True: the round still completes bit-identically) or raises
+# a structured WorkerPoolError (False: fail-fast semantics):
+POOL_DEGRADE = True
+
+
+def new_recovery_counters() -> dict:
+    """A zeroed copy of the supervisor's recovery-counter schema."""
+    return {
+        "retries": 0,           # shard re-dispatches (any loss reason)
+        "respawns": 0,          # executor teardown + recreate cycles
+        "deadline_kills": 0,    # futures killed past their deadline
+        "checksum_rejects": 0,  # results rejected by integrity check
+        "worker_faults": 0,     # worker exceptions / broken-pool events
+        "degraded_shards": 0,   # shards run inline after max retries
+        "recovery_wall_s": 0.0,  # driver time spent recovering (+ checks)
+    }
 
 
 def min_pool_games_for(engine: str, config=None) -> int:
@@ -131,7 +220,33 @@ def min_pool_games_for(engine: str, config=None) -> int:
 
 
 class WorkerPoolError(RuntimeError):
-    """A coin-game worker pool failed; the round could not complete."""
+    """A coin-game worker pool failed; the round could not complete.
+
+    Carries the supervisor's structured context when one shard chain
+    exhausted recovery: the pool dispatch sequence number (``round``),
+    the failing ``shard`` index, how many ``attempts`` it got, the
+    per-attempt loss ``outcomes`` (strings, oldest first), and the last
+    underlying ``cause`` (also chained as ``__cause__``).  Errors from
+    outside the per-shard loop (a closed pool, a failed CSR publish)
+    leave the shard fields None.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        round: int | None = None,
+        shard: int | None = None,
+        attempts: int | None = None,
+        outcomes: list[str] | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.round = round
+        self.shard = shard
+        self.attempts = attempts
+        self.outcomes = list(outcomes or [])
+        self.cause = cause
 
 
 @contextlib.contextmanager
@@ -187,6 +302,10 @@ class ShardResult(NamedTuple):
     fold_counts: np.ndarray  # number of proposals per vertex
     records: list | None  # game record tuple per machine when requested
     replay_stats: dict | None = None  # incremental-replay counters (batched)
+    # Integrity digest over the numeric payload arrays (reads, writes,
+    # fold triples), stamped worker-side and re-verified by the driver
+    # before any fold; see repro.ampc.faults.payload_checksum.
+    checksum: int | None = None
 
 
 # -- worker side -----------------------------------------------------------
@@ -268,10 +387,81 @@ def _load_transpose(csr_meta: tuple):
     return _CSR_CACHE["transpose"]
 
 
+def _shard_checksum(
+    reads, writes, fold_vertices, fold_minima, fold_counts
+) -> int:
+    """Integrity digest of a :class:`ShardResult`'s numeric payload.
+
+    Shared by the worker (stamping) and the driver (re-verifying), so
+    the two sides cannot drift.  Scope: every array the driver folds —
+    game records are driver-opaque tuples that only feed the
+    cross-round cache, whose replay validation re-derives them.
+    """
+    return payload_checksum(reads, writes, fold_vertices, fold_minima,
+                            fold_counts)
+
+
+def _fabric_checksum(res: dict) -> int:
+    """Integrity digest of one fabric shard-chain result dict.
+
+    Covers everything the driver adopts or replays: per-game charges,
+    proof entries, the full request trace (whose ids drive comm-counter
+    replay), the scalar counters, and the guard state merged into
+    :meth:`~repro.ampc.messaging.MemoryGuard.adopt` — so a corrupted
+    payload is rejected *before* any driver state mutates.
+    """
+    items = [res["reads"], res["writes"], res["proof_u"], res["proof_l"]]
+    for miss, extra in res["trace"]:
+        items.append(miss)
+        items.append(extra)
+    items.append(np.asarray(
+        [res["ejected_games"], res["ball_max"], res["guard_peak"]],
+        dtype=np.int64,
+    ))
+    items.append(repr(sorted(res["guard_held"].items())).encode())
+    return payload_checksum(*items)
+
+
+def _corrupted(spec, result):
+    """Apply a fault's *post-play* effect to a worker's finished result.
+
+    ``garbage`` flips one element of a checksummed array (after the
+    checksum was stamped, so the driver's re-check must catch it);
+    ``unpicklable`` poisons the pipe crossing.  Everything else already
+    fired in :func:`repro.ampc.faults.apply_pre`.
+    """
+    if spec is None:
+        return result
+    if spec.kind == "unpicklable":
+        return lambda: None  # poisoned result: cannot cross the pipe
+    if spec.kind != "garbage":
+        return result
+    if isinstance(result, ShardResult):
+        for name in ("reads", "writes", "fold_vertices", "fold_counts"):
+            arr = getattr(result, name)
+            if len(arr):
+                bad = arr.copy()
+                bad[0] += 1
+                return result._replace(**{name: bad})
+        return result._replace(
+            fold_minima=np.append(result.fold_minima, 1.0)
+        )
+    for name in ("reads", "writes", "proof_u", "proof_l"):
+        if len(result[name]):
+            bad = result[name].copy()
+            bad[0] += 1
+            result[name] = bad
+            return result
+    result["ball_max"] += 1
+    return result
+
+
 def _play_shard(
     csr_meta: tuple,
     roots: np.ndarray,
     params: tuple[int, int, int, int, int | None, bool, str],
+    fault_key: tuple[int, int, int] | None = None,
+    plan=None,
 ):
     """Run one shard of coin-game machines inside a worker process.
 
@@ -279,13 +469,15 @@ def _play_shard(
     game-index slice of the round's fleet run through the lockstep (or
     fused-C) engine against the shared CSR; with ``engine="scalar"``
     each game is interpreted one at a time.  All report the identical
-    :class:`ShardResult` shape.
+    :class:`ShardResult` shape.  ``fault_key``/``plan`` are the
+    supervisor's chaos hook (:mod:`repro.ampc.faults`): inline degraded
+    execution passes neither, so the last-resort path never faults.
     """
-    fault = os.environ.get(_FAULT_ENV, "")
-    if fault == "raise":
-        raise RuntimeError("injected worker fault (test hook)")
-    if fault == "exit":  # pragma: no cover - exercised via subprocess
-        os._exit(17)
+    spec = (
+        plan.lookup(*fault_key)
+        if plan is not None and fault_key is not None else None
+    )
+    faults.apply_pre(spec)
     x, beta, clip, horizon, scale, want_records, engine, config = params
     if engine in ("batched", "compiled"):
         from repro.core.columnar_rounds import run_games_batched_with_fallback
@@ -312,12 +504,13 @@ def _play_shard(
         fold_vertices = np.flatnonzero(out_count_arr)
         fold_minima = out_layer_arr[fold_vertices]
         fold_counts = out_count_arr[fold_vertices]
-        if fault == "unpicklable":
-            return lambda: None  # poisoned result: cannot cross the pipe
-        return ShardResult(
+        return _corrupted(spec, ShardResult(
             reads, writes, fold_vertices, fold_minima, fold_counts, records,
             replay_stats,
-        )
+            checksum=_shard_checksum(
+                reads, writes, fold_vertices, fold_minima, fold_counts
+            ),
+        ))
     from repro.core.columnar_rounds import play_coin_game
 
     adj = _load_adjacency(csr_meta)
@@ -341,11 +534,12 @@ def _play_shard(
     fold_vertices = np.flatnonzero(counts)
     fold_minima = np.array(out_layer)[fold_vertices]
     fold_counts = counts[fold_vertices]
-    if fault == "unpicklable":
-        return lambda: None  # poisoned result: cannot cross the pipe
-    return ShardResult(
-        reads, writes, fold_vertices, fold_minima, fold_counts, records
-    )
+    return _corrupted(spec, ShardResult(
+        reads, writes, fold_vertices, fold_minima, fold_counts, records,
+        checksum=_shard_checksum(
+            reads, writes, fold_vertices, fold_minima, fold_counts
+        ),
+    ))
 
 
 def _play_fabric_shard(
@@ -354,20 +548,22 @@ def _play_fabric_shard(
     roots: np.ndarray,
     positions: np.ndarray,
     payload: dict,
+    fault_key: tuple[int, int, int] | None = None,
+    plan=None,
 ):
     """Run one message-fabric shard's BSP chain inside a worker process.
 
     The chain itself lives in :func:`repro.ampc.messaging.run_shard_chain`
     — the worker only attaches the round's shared CSR (cached across the
-    round's shards) and applies the same fault hooks as
-    :func:`_play_shard`, so the failure-containment tests exercise both
-    dispatch paths identically.
+    round's shards), stamps the result's integrity checksum, and applies
+    the same fault hooks as :func:`_play_shard`, so the chaos harness
+    exercises both dispatch paths identically.
     """
-    fault = os.environ.get(_FAULT_ENV, "")
-    if fault == "raise":
-        raise RuntimeError("injected worker fault (test hook)")
-    if fault == "exit":  # pragma: no cover - exercised via subprocess
-        os._exit(17)
+    spec = (
+        plan.lookup(*fault_key)
+        if plan is not None and fault_key is not None else None
+    )
+    faults.apply_pre(spec)
     from repro.ampc.messaging import run_shard_chain
 
     offsets, targets = _load_csr(*csr_meta[:4])
@@ -376,12 +572,55 @@ def _play_fabric_shard(
             offsets, targets, sid, roots=roots, positions=positions,
             **payload,
         )
-    if fault == "unpicklable":
-        return lambda: None  # poisoned result: cannot cross the pipe
-    return result
+    result["checksum"] = _fabric_checksum(result)
+    return _corrupted(spec, result)
 
 
 # -- driver side -----------------------------------------------------------
+
+# Supervisor wait-loop granularity: how often deadline expiry and
+# newly-running futures are checked while shards are in flight.  wait()
+# returns immediately on any completion, so the zero-fault fast path
+# only ever pays this while a shard is genuinely still computing.
+_SUPERVISOR_POLL_S = 0.1
+
+
+def _supervisor_knobs(config) -> tuple[int, float, float, float, bool]:
+    """(max_retries, backoff_s, deadline_s, deadline_scale, degrade)."""
+    if config is None:
+        return (MAX_SHARD_RETRIES, RETRY_BACKOFF_S, POOL_DEADLINE_S,
+                POOL_DEADLINE_SCALE, POOL_DEGRADE)
+    return (config.max_shard_retries, config.retry_backoff_s,
+            config.pool_deadline_s, config.pool_deadline_scale,
+            config.pool_degrade)
+
+
+def _verify_shard_result(result) -> None:
+    """Driver-side integrity check of one :class:`ShardResult`."""
+    if not isinstance(result, ShardResult) or result.checksum is None:
+        raise ChecksumError(
+            f"worker returned {type(result).__name__} without a payload "
+            "checksum"
+        )
+    expected = _shard_checksum(
+        result.reads, result.writes, result.fold_vertices,
+        result.fold_minima, result.fold_counts,
+    )
+    if expected != result.checksum:
+        raise ChecksumError("shard result failed its integrity check")
+
+
+def _verify_fabric_result(result) -> None:
+    """Driver-side integrity check of one fabric shard-chain result."""
+    if not isinstance(result, dict) or result.get("checksum") is None:
+        raise ChecksumError(
+            f"worker returned {type(result).__name__} without a payload "
+            "checksum"
+        )
+    if _fabric_checksum(result) != result["checksum"]:
+        raise ChecksumError(
+            "fabric shard result failed its integrity check"
+        )
 
 
 class CoinGamePool:
@@ -418,6 +657,12 @@ class CoinGamePool:
         # cost predicts ~1x).
         self.procs = max(1, min(workers, os.cpu_count() or 1))
         self.closed = False
+        # Monotonic dispatch sequence number — the "round" coordinate of
+        # the supervisor's (round, shard, attempt) fault/retry keys.
+        self.dispatch_seq = 0
+        # Lifetime recovery counters (see new_recovery_counters); callers
+        # snapshot/delta them per run (BetaPartitionOutcome.round_recovery).
+        self.recovery = new_recovery_counters()
         self._executor: ProcessPoolExecutor | None = None
         # Snapshot of the GC thresholds workers should run with.  The
         # executor forks lazily — possibly inside a driver's
@@ -445,6 +690,298 @@ class CoinGamePool:
                 initargs=self._worker_gc_threshold,
             )
         return self._executor
+
+    def _teardown_executor(self) -> None:
+        """Kill and reap the executor's workers (the self-healing path).
+
+        Used when workers must die *now* — a future past its deadline,
+        a broken pool — rather than drain: terminate every worker
+        process first (a running future cannot be cancelled), then let
+        ``shutdown`` observe the broken pool and join its management
+        thread, then reap the processes.  The pool stays open: the next
+        submission lazily respawns a fresh executor.  Shared-memory
+        segments are untouched — the driver owns them and unlinks in
+        the dispatch's ``finally`` — so no fault schedule can orphan a
+        ``/dev/shm`` entry or a worker process.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        procs = list(getattr(executor, "_processes", {}).values())
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.terminate()
+        with contextlib.suppress(Exception):
+            executor.shutdown(wait=True, cancel_futures=True)
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.join(5.0)
+
+    # -- recovery accounting ---------------------------------------------
+
+    def recovery_snapshot(self) -> dict:
+        """A copy of the lifetime recovery counters (for later delta)."""
+        return dict(self.recovery)
+
+    def recovery_delta(self, snapshot: dict) -> dict:
+        """Recovery counters accumulated since ``snapshot``."""
+        return {
+            key: self.recovery[key] - snapshot.get(key, 0)
+            for key in self.recovery
+        }
+
+    @staticmethod
+    def _backoff_delay(
+        base: float, rnd: int, shard: int, attempt: int
+    ) -> float:
+        """Seed-jittered exponential backoff before a re-dispatch.
+
+        Deterministic in the (round, shard, attempt) key — same
+        splitmix64 mix as the fault plans — so a replayed chaos
+        schedule sleeps identically; the jitter (±50% around the
+        exponential base) keeps retried shards of one round from
+        hammering the respawned executor in lockstep.
+        """
+        if base <= 0.0:
+            return 0.0
+        h = faults._mix64(
+            faults._mix64(rnd + 0x9E3779B97F4A7C15)
+            ^ (shard * 0x100000001B3 + attempt)
+        )
+        frac = (h >> 11) / float(1 << 53)
+        return base * (2.0 ** min(attempt - 1, 6)) * (0.5 + frac)
+
+    def _run_supervised(
+        self,
+        num_jobs: int,
+        submit,
+        inline,
+        deliver,
+        verify,
+        config,
+        passthrough: tuple = (),
+    ) -> None:
+        """The fault-tolerant dispatch loop both entry points share.
+
+        ``submit(executor, key, fault_key, plan)`` dispatches shard
+        ``key``; ``verify(result)`` raises
+        :class:`~repro.ampc.faults.ChecksumError` on a corrupted
+        payload; ``deliver(key, result, others_running)`` hands one
+        verified result to the caller (exactly once per shard);
+        ``inline(key)`` is the degraded last resort, executed on the
+        driver with no fault plan.  Exceptions whose type is in
+        ``passthrough`` are deterministic protocol outcomes (the serial
+        path would raise them identically), re-raised immediately
+        without retry and without closing the pool.
+
+        See the module docstring for the recovery semantics; the
+        summary is that every loss — worker exception, broken pool,
+        unpicklable result, checksum mismatch, deadline expiry — turns
+        into a bounded, backoff-spaced, bit-identical re-execution, and
+        the counters in :attr:`recovery` account each one.
+        """
+        (max_retries, backoff_s, deadline_s, deadline_scale,
+         degrade) = _supervisor_knobs(config)
+        plan = faults.active_plan()
+        rnd = self.dispatch_seq
+        self.dispatch_seq += 1
+        rec = self.recovery
+        attempts = [0] * num_jobs
+        outcomes: list[list[str]] = [[] for _ in range(num_jobs)]
+        last_cause: list[BaseException | None] = [None] * num_jobs
+        pending = list(range(num_jobs))
+        degraded: list[int] = []
+        inflight: dict = {}  # future -> shard key
+        started: dict = {}  # future -> perf_counter when seen running
+        slowest_done: float | None = None
+        respawns_here = 0
+
+        def lose(key, label, cause, counter=None):
+            outcomes[key].append(label)
+            last_cause[key] = cause
+            attempts[key] += 1
+            pending.append(key)
+            if counter is not None:
+                rec[counter] += 1
+
+        while pending or inflight:
+            requeue, pending = pending, []
+            for key in requeue:
+                if attempts[key] > max_retries:
+                    if not degrade:
+                        self.close(cancel=True)
+                        raise WorkerPoolError(
+                            f"shard {key} of pool dispatch {rnd} lost "
+                            f"after {attempts[key]} attempts "
+                            f"({'; '.join(outcomes[key])})",
+                            round=rnd, shard=key, attempts=attempts[key],
+                            outcomes=outcomes[key], cause=last_cause[key],
+                        ) from last_cause[key]
+                    degraded.append(key)
+                    continue
+                if attempts[key] > 0:
+                    t0 = time.perf_counter()
+                    time.sleep(self._backoff_delay(
+                        backoff_s, rnd, key, attempts[key]
+                    ))
+                    rec["retries"] += 1
+                    rec["recovery_wall_s"] += time.perf_counter() - t0
+                try:
+                    fut = submit(
+                        self._ensure_executor(), key,
+                        (rnd, key, attempts[key]), plan,
+                    )
+                except BrokenExecutor as exc:
+                    # The executor can break *between* submissions of
+                    # one dispatch (a worker died while this loop was
+                    # still handing out siblings), in which case submit
+                    # raises synchronously instead of returning a
+                    # failed future.  Same recovery as an in-flight
+                    # break: count the loss, reap, respawn, re-queue.
+                    t0 = time.perf_counter()
+                    lose(key, f"broken pool at submit: {exc}", exc)
+                    self._teardown_executor()
+                    rec["worker_faults"] += 1
+                    rec["respawns"] += 1
+                    respawns_here += 1
+                    time.sleep(self._backoff_delay(
+                        backoff_s, rnd, num_jobs, respawns_here
+                    ))
+                    rec["recovery_wall_s"] += time.perf_counter() - t0
+                    continue
+                inflight[fut] = key
+            if not inflight:
+                break
+            limit = deadline_s
+            if slowest_done is not None:
+                # Adaptive hang detection: once a sibling shard of this
+                # dispatch has landed, the rest are bounded by a multiple
+                # of the slowest observed success (floored so millisecond
+                # shards cannot trip the bound on scheduler noise).
+                limit = min(limit, max(1.0, deadline_scale * slowest_done))
+            done, not_done = wait(
+                set(inflight), timeout=_SUPERVISOR_POLL_S,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.perf_counter()
+            for fut in not_done:
+                # Deadlines run from when a future is first *seen*
+                # running — queue wait behind a busy worker is not hang
+                # evidence.
+                if fut not in started and fut.running():
+                    started[fut] = now
+            broken: BaseException | None = None
+            for fut in done:
+                key = inflight.pop(fut)
+                tstart = started.pop(fut, None)
+                exc = fut.exception()
+                if exc is None:
+                    result = fut.result()
+                    t0 = time.perf_counter()
+                    try:
+                        verify(result)
+                    except ChecksumError as cerr:
+                        rec["recovery_wall_s"] += time.perf_counter() - t0
+                        lose(key, f"checksum: {cerr}", cerr,
+                             "checksum_rejects")
+                        continue
+                    rec["recovery_wall_s"] += time.perf_counter() - t0
+                    if tstart is not None:
+                        span = now - tstart
+                        slowest_done = (
+                            span if slowest_done is None
+                            else max(slowest_done, span)
+                        )
+                    deliver(key, result, bool(inflight or pending))
+                elif isinstance(exc, passthrough):
+                    # Deterministic protocol outcome: retrying a pure
+                    # function cannot change it.  Cancel what can still
+                    # be cancelled and surface it; the pool stays
+                    # healthy.
+                    for other in inflight:
+                        other.cancel()
+                    raise exc
+                elif isinstance(exc, BrokenExecutor):
+                    broken = exc
+                    lose(key, f"broken pool: {exc}", exc)
+                else:
+                    lose(key, f"{type(exc).__name__}: {exc}", exc,
+                         "worker_faults")
+            if broken is not None:
+                # A dead worker breaks the whole executor: every
+                # in-flight future fails, so mark them all lost, reap
+                # the wreckage, and respawn with backoff.
+                t0 = time.perf_counter()
+                for fut, key in list(inflight.items()):
+                    lose(key, "lost to broken pool", broken)
+                inflight.clear()
+                started.clear()
+                self._teardown_executor()
+                rec["worker_faults"] += 1
+                rec["respawns"] += 1
+                respawns_here += 1
+                time.sleep(self._backoff_delay(
+                    backoff_s, rnd, num_jobs, respawns_here
+                ))
+                rec["recovery_wall_s"] += time.perf_counter() - t0
+                continue
+            expired = {
+                fut for fut in inflight
+                if fut in started and not fut.done()
+                and now - started[fut] > limit
+            }
+            if expired:
+                # Hang detected.  Running futures cannot be cancelled,
+                # so the only kill is tearing the executor down; other
+                # in-flight shards are collateral and simply re-queued
+                # (their re-execution is bit-identical).
+                t0 = time.perf_counter()
+                for fut, key in list(inflight.items()):
+                    if fut in expired:
+                        rec["deadline_kills"] += 1
+                        cause: BaseException = TimeoutError(
+                            f"shard {key} of pool dispatch {rnd} "
+                            f"exceeded its {limit:.3f}s deadline"
+                        )
+                        lose(key, f"deadline: exceeded {limit:.3f}s",
+                             cause)
+                    else:
+                        lose(key, "lost to deadline teardown",
+                             TimeoutError(
+                                 "shard lost when a sibling's deadline "
+                                 "expired"
+                             ))
+                inflight.clear()
+                started.clear()
+                self._teardown_executor()
+                rec["respawns"] += 1
+                respawns_here += 1
+                rec["recovery_wall_s"] += time.perf_counter() - t0
+
+        # Graceful degradation: whatever exhausted its retries runs
+        # inline on the driver — the same pure function, serially, with
+        # no fault plan — so the round completes bit-identically.  Only
+        # inline execution itself failing raises.
+        for key in degraded:
+            rec["degraded_shards"] += 1
+            t0 = time.perf_counter()
+            try:
+                result = inline(key)
+            except passthrough:
+                rec["recovery_wall_s"] += time.perf_counter() - t0
+                raise
+            except Exception as exc:
+                rec["recovery_wall_s"] += time.perf_counter() - t0
+                self.close(cancel=True)
+                raise WorkerPoolError(
+                    f"shard {key} of pool dispatch {rnd} failed inline "
+                    f"after {attempts[key]} pool attempts "
+                    f"({'; '.join(outcomes[key])})",
+                    round=rnd, shard=key, attempts=attempts[key],
+                    outcomes=outcomes[key], cause=exc,
+                ) from exc
+            rec["recovery_wall_s"] += time.perf_counter() - t0
+            deliver(key, result, False)
 
     def run_games(
         self,
@@ -492,7 +1029,6 @@ class CoinGamePool:
             return []
         segments: list[SharedMemory] = []
         try:
-            executor = self._ensure_executor()
             csr_meta, segments = self._publish_csr(
                 offsets, targets, transpose_pos
             )
@@ -509,27 +1045,38 @@ class CoinGamePool:
             else:
                 root_chunks = np.array_split(roots, max_shards)
                 position_chunks = np.array_split(positions, max_shards)
-            futures = {
-                executor.submit(_play_shard, csr_meta, root_chunk, params):
-                    position_chunk
-                for root_chunk, position_chunk in zip(
-                    root_chunks, position_chunks
+            results: list[tuple[np.ndarray, ShardResult]] = []
+
+            def submit(executor, key, fault_key, plan):
+                return executor.submit(
+                    _play_shard, csr_meta, root_chunks[key], params,
+                    fault_key, plan,
                 )
-            }
-            return [
-                (futures[done], done.result()) for done in as_completed(futures)
-            ]
+
+            def inline(key):
+                return _play_shard(csr_meta, root_chunks[key], params)
+
+            def deliver(key, result, _others):
+                results.append((position_chunks[key], result))
+
+            self._run_supervised(
+                len(root_chunks), submit, inline, deliver,
+                _verify_shard_result, config,
+            )
+            return results
         except WorkerPoolError:
             raise
         except Exception as exc:
-            # Any fault — a worker exception, an unpicklable result, a
-            # dead process (BrokenProcessPool) — poisons the round: close
-            # the pool (joining every worker, so nothing is orphaned) and
-            # surface one clear error.
+            # A fault the supervisor cannot recover from — publishing
+            # the CSR failed, or the retry budget was exhausted without
+            # degradation — poisons the round: close the pool (joining
+            # every worker, so nothing is orphaned) and surface one
+            # clear error.
             self.close(cancel=True)
             raise WorkerPoolError(
                 f"coin-game worker pool failed mid-round: "
-                f"{type(exc).__name__}: {exc}"
+                f"{type(exc).__name__}: {exc}",
+                cause=exc,
             ) from exc
         finally:
             for shm in segments:
@@ -543,6 +1090,7 @@ class CoinGamePool:
         jobs: list[tuple[int, np.ndarray, np.ndarray]],
         payload: dict,
         on_result,
+        config=None,
     ) -> None:
         """Run message-fabric shard chains across the worker fleet.
 
@@ -555,42 +1103,54 @@ class CoinGamePool:
 
         :class:`~repro.ampc.messaging.MemoryGuardError` passes through
         verbatim — a budget violation is a protocol outcome the serial
-        fabric would have raised identically, not a pool fault, so the
-        executor stays healthy for the next run.  Any other fault closes
-        the pool (joining every worker) and raises
-        :class:`WorkerPoolError`, exactly like :meth:`run_games`.
+        fabric would have raised identically, not a pool fault, so it is
+        never retried and the executor stays healthy for the next run.
+        Any other fault goes through the supervisor's retry /
+        degradation ladder; only an unrecoverable one closes the pool
+        and raises :class:`WorkerPoolError`, exactly like
+        :meth:`run_games`.  ``config`` defaults to
+        ``payload["config"]``, so the supervisor honors the same run
+        configuration the shard chains execute under.
         """
         if self.closed:
             raise WorkerPoolError("coin-game worker pool is closed")
         if not jobs:
             return
+        if config is None:
+            config = payload.get("config")
         segments: list[SharedMemory] = []
-        futures: dict = {}
         try:
-            executor = self._ensure_executor()
             csr_meta, segments = self._publish_csr(offsets, targets)
-            futures = {
-                executor.submit(
+
+            def submit(executor, key, fault_key, plan):
+                sid, roots, positions = jobs[key]
+                return executor.submit(
                     _play_fabric_shard, csr_meta, sid, roots, positions,
-                    payload,
-                ): sid
-                for sid, roots, positions in jobs
-            }
-            outstanding = len(futures)
-            for done in as_completed(futures):
-                outstanding -= 1
-                on_result(futures[done], done.result(), outstanding > 0)
-        except MemoryGuardError:
-            for future in futures:
-                future.cancel()
-            raise
-        except WorkerPoolError:
+                    payload, fault_key, plan,
+                )
+
+            def inline(key):
+                sid, roots, positions = jobs[key]
+                return _play_fabric_shard(
+                    csr_meta, sid, roots, positions, payload
+                )
+
+            def deliver(key, result, others_running):
+                on_result(jobs[key][0], result, others_running)
+
+            self._run_supervised(
+                len(jobs), submit, inline, deliver,
+                _verify_fabric_result, config,
+                passthrough=(MemoryGuardError,),
+            )
+        except (MemoryGuardError, WorkerPoolError):
             raise
         except Exception as exc:
             self.close(cancel=True)
             raise WorkerPoolError(
                 f"coin-game worker pool failed mid-round: "
-                f"{type(exc).__name__}: {exc}"
+                f"{type(exc).__name__}: {exc}",
+                cause=exc,
             ) from exc
         finally:
             for shm in segments:

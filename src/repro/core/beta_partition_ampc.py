@@ -100,6 +100,13 @@ class BetaPartitionOutcome:
     # derived cone_fraction (fresh share of the delivery volume; lower =
     # more wave reuse) — what the E1/F2 sweeps plot against graph shape.
     round_reuse: list[dict] = field(default_factory=list)
+    # workers > 1: the pool supervisor's recovery counters accumulated
+    # over this run (retries / respawns / deadline_kills /
+    # checksum_rejects / worker_faults / degraded_shards /
+    # recovery_wall_s) — all zero on an undisturbed run, and accounting
+    # every injected or real fault otherwise.  Empty dict when no pool
+    # was used.
+    round_recovery: dict = field(default_factory=dict)
 
     @property
     def num_layers(self) -> int:
@@ -429,6 +436,7 @@ def _run_columnar(
     round_reuse: list[dict] = []
     round_comm: list[dict] = []
     game_cache = GameCache() if mode == "lca" else None
+    recovery_base = pool.recovery_snapshot() if pool is not None else None
 
     while alive.size:
         if len(sim.stats.rounds) >= max_rounds:
@@ -496,6 +504,9 @@ def _run_columnar(
         shards=fabric.num_shards if fabric is not None else 0,
         round_comm=round_comm,
         max_held_words=fabric.peak_held_words if fabric is not None else 0,
+        round_recovery=(
+            pool.recovery_delta(recovery_base) if pool is not None else {}
+        ),
     )
 
 

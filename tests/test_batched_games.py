@@ -19,6 +19,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.ampc import faults
 import repro.core.batched_games as batched_games
 import repro.core.columnar_rounds as columnar_rounds
 from repro.ampc.pool import _SHARED_POOLS, close_shared_pools, resolve_workers
@@ -371,4 +372,5 @@ def _no_worker_env(monkeypatch):
     """These tests pin worker counts explicitly; isolate from CI's env."""
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     yield
-    assert os.environ.get("_REPRO_POOL_FAULT") is None
+    # No test may leak an in-process injected fault plan.
+    assert faults._ACTIVE_SET is False

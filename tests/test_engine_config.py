@@ -31,6 +31,11 @@ class TestFromEnv:
         assert cfg.replay_poor_streak == batched_games.REPLAY_POOR_STREAK
         assert cfg.message_cap_words == messaging.MESSAGE_CAP_WORDS
         assert cfg.shard_budget_words is None
+        assert cfg.max_shard_retries == pool.MAX_SHARD_RETRIES
+        assert cfg.retry_backoff_s == pool.RETRY_BACKOFF_S
+        assert cfg.pool_deadline_s == pool.POOL_DEADLINE_S
+        assert cfg.pool_deadline_scale == pool.POOL_DEADLINE_SCALE
+        assert cfg.pool_degrade is pool.POOL_DEGRADE
 
     def test_env_overrides_parse_and_win(self):
         cfg = EngineConfig.from_env(env={
@@ -41,6 +46,11 @@ class TestFromEnv:
             "REPRO_REPLAY_POOR_STREAK": "3",
             "REPRO_MESSAGE_CAP_WORDS": "4096",
             "REPRO_SHARD_BUDGET_WORDS": "123456",
+            "REPRO_MAX_SHARD_RETRIES": "5",
+            "REPRO_RETRY_BACKOFF_S": "0.25",
+            "REPRO_POOL_DEADLINE_S": "12.5",
+            "REPRO_POOL_DEADLINE_SCALE": "8",
+            "REPRO_POOL_DEGRADE": "off",
         })
         assert cfg.cohort_games == 128
         assert cfg.min_pool_games == 7
@@ -49,6 +59,11 @@ class TestFromEnv:
         assert cfg.replay_poor_streak == 3
         assert cfg.message_cap_words == 4096
         assert cfg.shard_budget_words == 123456
+        assert cfg.max_shard_retries == 5
+        assert cfg.retry_backoff_s == 0.25
+        assert cfg.pool_deadline_s == 12.5
+        assert cfg.pool_deadline_scale == 8.0
+        assert cfg.pool_degrade is False
 
     def test_blank_values_fall_back(self):
         cfg = EngineConfig.from_env(env={"REPRO_COHORT_GAMES": "  "})
@@ -110,6 +125,34 @@ class TestFromEnv:
         # parse must fail the same way instead of deferring the crash.
         with pytest.raises(ValueError, match="REPRO_MESSAGE_CAP_WORDS"):
             EngineConfig.from_env(env={"REPRO_MESSAGE_CAP_WORDS": "2"})
+
+    def test_supervisor_knob_validation(self):
+        # retries may be 0 (fail fast) but never negative.
+        cfg = EngineConfig.from_env(env={"REPRO_MAX_SHARD_RETRIES": "0"})
+        assert cfg.max_shard_retries == 0
+        with pytest.raises(ValueError, match="REPRO_MAX_SHARD_RETRIES"):
+            EngineConfig.from_env(env={"REPRO_MAX_SHARD_RETRIES": "-1"})
+        # backoff 0 is valid (no sleep); negative is not.
+        cfg = EngineConfig.from_env(env={"REPRO_RETRY_BACKOFF_S": "0"})
+        assert cfg.retry_backoff_s == 0.0
+        with pytest.raises(ValueError, match="REPRO_RETRY_BACKOFF_S"):
+            EngineConfig.from_env(env={"REPRO_RETRY_BACKOFF_S": "-0.1"})
+        # a zero deadline would kill every shard instantly.
+        with pytest.raises(ValueError, match="REPRO_POOL_DEADLINE_S"):
+            EngineConfig.from_env(env={"REPRO_POOL_DEADLINE_S": "0"})
+        # scale < 1 would kill shards faster than the slowest sibling.
+        with pytest.raises(ValueError, match="REPRO_POOL_DEADLINE_SCALE"):
+            EngineConfig.from_env(env={"REPRO_POOL_DEADLINE_SCALE": "0.5"})
+
+    def test_pool_degrade_boolean_parse(self):
+        for raw, want in (
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("false", False), ("No", False), ("off", False),
+        ):
+            cfg = EngineConfig.from_env(env={"REPRO_POOL_DEGRADE": raw})
+            assert cfg.pool_degrade is want
+        with pytest.raises(ValueError, match="REPRO_POOL_DEGRADE"):
+            EngineConfig.from_env(env={"REPRO_POOL_DEGRADE": "maybe"})
 
     def test_misspelled_engine_rejected_at_parse_time(self):
         # "compilde" used to thread silently until partition time.

@@ -3,25 +3,29 @@
 Every experiment trusts the validators to fail loudly; these tests mutate
 correct outputs in targeted ways and assert the validators notice.  A
 validator that silently accepts garbage would make every green table in
-EXPERIMENTS.md meaningless.  The worker-pool section injects faults into
-the parallel coin-game engine — an exception mid-round, a poisoned
-(unpicklable) result, a worker death, a pool used after shutdown — and
-asserts each surfaces as one clear :class:`WorkerPoolError` with no
+EXPERIMENTS.md meaningless.  The worker-pool section injects seeded
+:class:`~repro.ampc.faults.FaultPlan` faults into the parallel coin-game
+engine — an exception mid-round, a poisoned (unpicklable) result, a
+worker death — and asserts the round supervisor recovers each one with a
+bit-identical partition; with recovery disabled
+(``max_shard_retries=0``, ``pool_degrade=False``) the same faults must
+surface as one clear, context-carrying :class:`WorkerPoolError` with no
 orphan worker processes left behind.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import os
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.ampc import faults
+from repro.ampc.engine_config import EngineConfig
+from repro.ampc.faults import FaultPlan
 from repro.ampc.pool import (
-    _FAULT_ENV,
     CoinGamePool,
     WorkerPoolError,
     close_shared_pools,
@@ -124,58 +128,113 @@ class TestOrientationCorruption:
 
 @pytest.fixture
 def fresh_pool_env():
-    """Isolate pool state: faults only reach workers forked *after* the
-    env var is set, so shared pools from earlier tests must not leak in,
-    and whatever this test breaks must not leak out."""
+    """Isolate pool state: shared pools from earlier tests must not leak
+    in, and whatever this test breaks must not leak out."""
     close_shared_pools()
     yield
-    os.environ.pop(_FAULT_ENV, None)
     close_shared_pools()
+    assert faults._ACTIVE_SET is False  # no leaked injected plan
     assert multiprocessing.active_children() == []  # no orphan workers
 
 
+# Every shard of every dispatch faults on its first attempt; retries
+# (attempt >= 1) run clean.
+_FIRST_ATTEMPT = dict(seed=1, rate=1.0, attempts=1)
+# Every attempt faults, forever: with degradation disabled this must
+# exhaust the retry budget and raise.
+_ALWAYS = dict(seed=1, rate=1.0)
+
+# Recovery disabled: first fault must surface as WorkerPoolError.
+_NO_RECOVERY = EngineConfig.from_env().with_overrides(
+    max_shard_retries=0, retry_backoff_s=0.0, pool_degrade=False
+)
+# Fast retries, still bounded, no degradation.
+_NO_DEGRADE = EngineConfig.from_env().with_overrides(
+    retry_backoff_s=0.0, pool_degrade=False
+)
+
+
 class TestWorkerPoolFaults:
-    def _partition(self, workers):
+    def _partition(self, workers, config=None):
         # min_pool_games=1 forces dispatch: this round is smaller than
         # the default threshold, and the faults only fire inside workers.
         g = random_gnm(120, 240, seed=13)
         return beta_partition_ampc(
-            g, 9, store="columnar", workers=workers, min_pool_games=1
+            g, 9, store="columnar", workers=workers, min_pool_games=1,
+            config=config,
         )
 
+    def _oracle_layers(self):
+        return self._partition(workers=1).partition.layers
+
+    def test_worker_exception_is_recovered(self, fresh_pool_env):
+        with faults.inject(FaultPlan(kinds=("crash",), **_FIRST_ATTEMPT)):
+            outcome = self._partition(workers=2)
+        assert outcome.partition.layers == self._oracle_layers()
+        assert outcome.round_recovery["retries"] > 0
+        assert outcome.round_recovery["worker_faults"] > 0
+
+    def test_unpicklable_result_is_recovered(self, fresh_pool_env):
+        with faults.inject(
+            FaultPlan(kinds=("unpicklable",), **_FIRST_ATTEMPT)
+        ):
+            outcome = self._partition(workers=2)
+        assert outcome.partition.layers == self._oracle_layers()
+        assert outcome.round_recovery["retries"] > 0
+
+    def test_worker_death_is_recovered(self, fresh_pool_env):
+        with faults.inject(FaultPlan(kinds=("exit",), **_FIRST_ATTEMPT)):
+            outcome = self._partition(workers=2)
+        assert outcome.partition.layers == self._oracle_layers()
+        assert outcome.round_recovery["respawns"] > 0
+
+    def test_corrupted_result_is_rejected_and_recovered(
+        self, fresh_pool_env
+    ):
+        with faults.inject(FaultPlan(kinds=("garbage",), **_FIRST_ATTEMPT)):
+            outcome = self._partition(workers=2)
+        assert outcome.partition.layers == self._oracle_layers()
+        assert outcome.round_recovery["checksum_rejects"] > 0
+
     def test_worker_exception_surfaces_clearly(self, fresh_pool_env):
-        os.environ[_FAULT_ENV] = "raise"
-        with pytest.raises(WorkerPoolError, match="injected worker fault"):
-            self._partition(workers=2)
+        with faults.inject(FaultPlan(kinds=("crash",), **_ALWAYS)):
+            with pytest.raises(
+                WorkerPoolError, match="injected worker fault"
+            ) as info:
+                self._partition(workers=2, config=_NO_RECOVERY)
+        err = info.value
+        assert err.shard is not None and err.attempts == 1
+        assert err.outcomes and "InjectedFault" in err.outcomes[0]
+        assert isinstance(err.__cause__, Exception)
 
-    def test_unpicklable_result_surfaces_clearly(self, fresh_pool_env):
-        os.environ[_FAULT_ENV] = "unpicklable"
-        with pytest.raises(WorkerPoolError, match="failed mid-round"):
-            self._partition(workers=2)
-
-    def test_worker_death_surfaces_clearly(self, fresh_pool_env):
-        os.environ[_FAULT_ENV] = "exit"
-        with pytest.raises(WorkerPoolError, match="failed mid-round"):
-            self._partition(workers=2)
+    def test_retry_exhaustion_surfaces_attempt_history(self, fresh_pool_env):
+        with faults.inject(FaultPlan(kinds=("crash",), **_ALWAYS)):
+            with pytest.raises(WorkerPoolError) as info:
+                self._partition(workers=2, config=_NO_DEGRADE)
+        err = info.value
+        # max_shard_retries=2 default: initial try + 2 retries, all logged.
+        assert err.attempts == 3
+        assert len(err.outcomes) == 3
+        assert err.__cause__ is err.cause
 
     def test_faulted_pool_is_closed_and_replaced(self, fresh_pool_env):
-        os.environ[_FAULT_ENV] = "raise"
-        with pytest.raises(WorkerPoolError):
-            self._partition(workers=2)
+        with faults.inject(FaultPlan(kinds=("crash",), **_ALWAYS)):
+            with pytest.raises(WorkerPoolError):
+                self._partition(workers=2, config=_NO_RECOVERY)
         assert multiprocessing.active_children() == []
         # The poisoned pool was dropped: clearing the fault and retrying
         # lazily builds a fresh one and succeeds.
-        os.environ.pop(_FAULT_ENV)
-        outcome = self._partition(workers=2)
-        assert outcome.partition.layers == self._partition(workers=1).partition.layers
+        with faults.inject(None):
+            outcome = self._partition(workers=2)
+        assert outcome.partition.layers == self._oracle_layers()
 
-    def test_serial_path_ignores_fault_hook(self, fresh_pool_env):
-        # workers=1 never constructs a pool: the fault hook must be dead
+    def test_serial_path_ignores_fault_plan(self, fresh_pool_env):
+        # workers=1 never constructs a pool: the fault hooks must be dead
         # code there, and no child process may appear.
-        os.environ[_FAULT_ENV] = "raise"
-        before = multiprocessing.active_children()
-        outcome = self._partition(workers=1)
-        assert multiprocessing.active_children() == before
+        with faults.inject(FaultPlan(kinds=("crash",), **_ALWAYS)):
+            before = multiprocessing.active_children()
+            outcome = self._partition(workers=1)
+            assert multiprocessing.active_children() == before
         assert not outcome.partition.is_partial(range(120))
 
     def test_pool_shutdown_mid_partition_is_loud(self, fresh_pool_env):

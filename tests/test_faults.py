@@ -1,0 +1,195 @@
+"""Unit tests for the seeded fault-injection layer (repro.ampc.faults).
+
+The chaos harness is only as trustworthy as its determinism: a failing
+schedule must replay exactly from its seed/spec, an injected plan must
+beat the CI env shim, and the checksums must catch any byte-level
+corruption.  Integration coverage (faults actually recovered by the
+pool supervisor) lives in test_chaos_supervisor.py and
+test_failure_injection.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ampc import faults
+from repro.ampc.faults import (
+    FAULT_KINDS,
+    ChecksumError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    payload_checksum,
+    rows_checksum,
+)
+
+
+class TestFaultPlanLookup:
+    def test_empty_plan_never_faults(self):
+        plan = FaultPlan()
+        assert all(
+            plan.lookup(r, s, a) is None
+            for r in range(4) for s in range(4) for a in range(4)
+        )
+
+    def test_explicit_entry_fires_only_at_its_key(self):
+        plan = FaultPlan({(2, 1, 0): "crash"})
+        assert plan.lookup(2, 1, 0) == FaultSpec("crash")
+        assert plan.lookup(2, 1, 1) is None
+        assert plan.lookup(2, 0, 0) is None
+        assert plan.lookup(0, 1, 0) is None
+
+    def test_seeded_sampling_is_deterministic(self):
+        a = FaultPlan(seed=7, rate=0.5, kinds=("crash", "garbage"))
+        b = FaultPlan(seed=7, rate=0.5, kinds=("crash", "garbage"))
+        keys = [(r, s, at) for r in range(10) for s in range(4)
+                for at in range(3)]
+        assert [a.lookup(*k) for k in keys] == [b.lookup(*k) for k in keys]
+        # A different seed draws a different schedule.
+        c = FaultPlan(seed=8, rate=0.5, kinds=("crash", "garbage"))
+        assert [a.lookup(*k) for k in keys] != [c.lookup(*k) for k in keys]
+
+    def test_rate_one_faults_everything_rate_zero_nothing(self):
+        hot = FaultPlan(seed=3, rate=1.0)
+        cold = FaultPlan(seed=3, rate=0.0)
+        for key in [(0, 0, 0), (5, 2, 1), (99, 7, 3)]:
+            assert hot.lookup(*key) is not None
+            assert cold.lookup(*key) is None
+
+    def test_attempts_gate_makes_plan_survivable(self):
+        plan = FaultPlan(seed=3, rate=1.0, attempts=2)
+        assert plan.lookup(0, 0, 0) is not None
+        assert plan.lookup(0, 0, 1) is not None
+        assert plan.lookup(0, 0, 2) is None  # retries past the gate run clean
+
+    def test_rate_spread_roughly_matches(self):
+        plan = FaultPlan(seed=11, rate=0.25, kinds=("crash",))
+        n = 2000
+        hits = sum(
+            plan.lookup(r, s, 0) is not None
+            for r in range(n // 4) for s in range(4)
+        )
+        assert 0.15 < hits / n < 0.35
+
+    def test_hang_and_slow_carry_durations(self):
+        plan = FaultPlan(
+            {(0, 0, 0): "hang", (0, 1, 0): "slow"}, hang_s=9.0, slow_s=0.5
+        )
+        assert plan.lookup(0, 0, 0) == FaultSpec("hang", 9.0)
+        assert plan.lookup(0, 1, 0) == FaultSpec("slow", 0.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan(kinds=("segfault",), seed=1, rate=0.5)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan({(0, 0, 0): "segfault"})
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan(seed=1, rate=1.5)
+
+
+class TestSpecRoundTrip:
+    def test_seeded_plan_round_trips(self):
+        plan = FaultPlan(
+            seed=42, rate=0.3, kinds=("crash", "garbage", "slow"),
+            attempts=2, hang_s=5.0, slow_s=0.01,
+        )
+        back = FaultPlan.parse(plan.spec())
+        keys = [(r, s, a) for r in range(8) for s in range(4)
+                for a in range(3)]
+        assert [plan.lookup(*k) for k in keys] == [
+            back.lookup(*k) for k in keys
+        ]
+
+    def test_explicit_entries_round_trip(self):
+        plan = FaultPlan({(0, 1, 0): "crash", (2, 0, 1): "hang"}, hang_s=3.0)
+        back = FaultPlan.parse(plan.spec())
+        assert back.entries == plan.entries
+        assert back.lookup(2, 0, 1) == FaultSpec("hang", 3.0)
+
+    def test_parse_rejects_malformed_specs(self):
+        for bad in ("seed", "seed=", "wat=1", "at=crash@1.2", "rate=x"):
+            with pytest.raises(ValueError):
+                FaultPlan.parse(bad)
+
+
+class TestInjectAndEnvShim:
+    def test_env_shim_parses_and_caches(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.FAULT_PLAN_ENV, "seed=5;rate=0.2;kinds=crash+garbage"
+        )
+        plan = faults.active_plan()
+        assert plan is not None and plan.seed == 5 and plan.rate == 0.2
+        assert faults.active_plan() is plan  # cached on the raw string
+
+    def test_inject_beats_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, "seed=5;rate=1.0")
+        mine = FaultPlan(seed=9, rate=0.0)
+        with faults.inject(mine):
+            assert faults.active_plan() is mine
+        # inject(None) disables even the env plan — test isolation.
+        with faults.inject(None):
+            assert faults.active_plan() is None
+        assert faults.active_plan() is not None  # env shim restored
+
+    def test_no_env_no_plan(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+        assert faults.active_plan() is None
+
+    def test_inject_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with faults.inject(FaultPlan(seed=1, rate=1.0)):
+                raise RuntimeError("boom")
+        assert faults._ACTIVE_SET is False
+
+    def test_apply_pre_crash_raises_injected_fault(self):
+        with pytest.raises(InjectedFault, match="crash"):
+            faults.apply_pre(FaultSpec("crash"))
+        faults.apply_pre(None)  # no-op
+        faults.apply_pre(FaultSpec("slow", 0.0))  # returns after sleep(0)
+
+    def test_every_kind_is_documented_in_module(self):
+        doc = faults.__doc__
+        for kind in FAULT_KINDS:
+            assert f"``{kind}``" in doc
+
+
+class TestChecksums:
+    def test_payload_checksum_detects_any_flip(self):
+        a = np.arange(32, dtype=np.int64)
+        b = np.arange(8, dtype=np.float64)
+        base = payload_checksum(a, b)
+        assert payload_checksum(a, b) == base
+        bad = a.copy()
+        bad[17] += 1
+        assert payload_checksum(bad, b) != base
+        # Order-sensitive: swapping arrays changes the digest.
+        assert payload_checksum(b, a) != base
+
+    def test_payload_checksum_length_sensitive(self):
+        # Same bytes, different split: an xxhash-style digest must see
+        # the framing, not just the concatenated stream.
+        a = np.zeros(4, dtype=np.int64)
+        b = np.zeros(2, dtype=np.int64)
+        assert payload_checksum(a) != payload_checksum(b, b)
+
+    def test_rows_checksum_covers_ids_and_rows(self):
+        rows = [
+            (3, np.array([1, 2], dtype=np.int64)),
+            (9, np.array([], dtype=np.int64)),
+        ]
+        base = rows_checksum(rows)
+        assert rows_checksum(list(rows)) == base
+        assert rows_checksum([(4, rows[0][1]), rows[1]]) != base
+        mutated = [(3, np.array([1, 5], dtype=np.int64)), rows[1]]
+        assert rows_checksum(mutated) != base
+
+    def test_install_ghosts_verifies_checksum(self):
+        from repro.ampc.messaging import _Shard
+
+        shard = _Shard(0, 2, None)
+        rows = [(1, np.array([0], dtype=np.int64))]
+        with pytest.raises(ChecksumError, match="checksum mismatch"):
+            shard.install_ghosts(rows, checksum=rows_checksum(rows) ^ 1)
+        shard.install_ghosts(rows, checksum=rows_checksum(rows))
+        assert 1 in shard.ghosts

@@ -19,6 +19,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.ampc import faults
 import repro.core.batched_games as batched_games
 from repro.ampc.pool import (
     _SHARED_POOLS,
@@ -308,4 +309,5 @@ def _no_worker_env(monkeypatch):
     """These tests pin worker counts explicitly; isolate from CI's env."""
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     yield
-    assert os.environ.get("_REPRO_POOL_FAULT") is None
+    # No test may leak an in-process injected fault plan.
+    assert faults._ACTIVE_SET is False

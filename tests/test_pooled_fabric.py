@@ -10,11 +10,13 @@ combination: partitions, per-round stats, *and* the communication
 counters and guard peaks the driver reconstructs by replaying each
 worker's request trace.
 
-Failure containment mirrors the plain pool path: a worker fault
-surfaces as one :class:`WorkerPoolError` with no orphan processes and
-no leaked shared-memory segments, while a :class:`MemoryGuardError` —
-a protocol outcome the serial fabric raises identically — passes
-through without poisoning the pool.
+Failure recovery mirrors the plain pool path: an injected worker fault
+is retried by the round supervisor and the run completes bit-identically
+with no orphan processes and no leaked shared-memory segments; with
+recovery disabled the fault surfaces as one :class:`WorkerPoolError`;
+and a :class:`MemoryGuardError` — a protocol outcome the serial fabric
+raises identically — passes through without retry and without poisoning
+the pool.
 """
 
 from __future__ import annotations
@@ -24,8 +26,11 @@ import os
 
 import pytest
 
+from repro.ampc import faults
+from repro.ampc.engine_config import EngineConfig
+from repro.ampc.faults import FaultPlan
 from repro.ampc.messaging import MemoryGuardError
-from repro.ampc.pool import _FAULT_ENV, WorkerPoolError, close_shared_pools
+from repro.ampc.pool import WorkerPoolError, close_shared_pools
 from repro.core.beta_partition_ampc import beta_partition_ampc
 from repro.graphs.generators import random_gnm, union_of_random_forests
 
@@ -52,8 +57,8 @@ def _counts(comm: dict) -> dict:
 def fresh_pool_env():
     close_shared_pools()
     yield
-    os.environ.pop(_FAULT_ENV, None)
     close_shared_pools()
+    assert faults._ACTIVE_SET is False  # no leaked injected plan
     assert multiprocessing.active_children() == []  # no orphan workers
 
 
@@ -138,33 +143,62 @@ class TestPooledBudget:
         assert pooled.max_held_words <= 40_000
 
 
-class TestPooledFaults:
-    def test_worker_exception_surfaces_and_cleans_up(self, fresh_pool_env):
-        before = _shm_segments()
-        os.environ[_FAULT_ENV] = "raise"
-        with pytest.raises(WorkerPoolError, match="injected worker fault"):
-            _partition(_graph(), engine="compiled", workers=2, shards=3)
-        assert _shm_segments() <= before  # no orphaned segments
-        assert multiprocessing.active_children() == []
+# First attempt of every shard faults; retries run clean.
+_FIRST_ATTEMPT = dict(seed=2, rate=1.0, attempts=1)
+# Recovery disabled: any fault must surface as WorkerPoolError.
+_NO_RECOVERY = EngineConfig.from_env().with_overrides(
+    max_shard_retries=0, retry_backoff_s=0.0, pool_degrade=False
+)
 
-    def test_worker_death_surfaces_and_cleans_up(self, fresh_pool_env):
+
+class TestPooledFaults:
+    def test_worker_exception_is_recovered_and_cleans_up(
+        self, fresh_pool_env
+    ):
+        g = _graph()
         before = _shm_segments()
-        os.environ[_FAULT_ENV] = "exit"
-        with pytest.raises(WorkerPoolError, match="failed mid-round"):
-            _partition(_graph(), engine="compiled", workers=2, shards=3)
+        with faults.inject(FaultPlan(kinds=("crash",), **_FIRST_ATTEMPT)):
+            out = _partition(g, engine="compiled", workers=2, shards=3)
+        ref = _partition(g, engine="compiled", workers=1, shards=3)
+        assert out.partition.layers == ref.partition.layers
+        assert out.round_recovery["retries"] > 0
+        # The recovered pool stays alive (that's the point); the fixture
+        # asserts no orphans survive close_shared_pools().
+        assert _shm_segments() <= before  # no orphaned segments
+
+    def test_worker_death_is_recovered_and_cleans_up(self, fresh_pool_env):
+        g = _graph()
+        before = _shm_segments()
+        with faults.inject(FaultPlan(kinds=("exit",), **_FIRST_ATTEMPT)):
+            out = _partition(g, engine="compiled", workers=2, shards=3)
+        ref = _partition(g, engine="compiled", workers=1, shards=3)
+        assert out.partition.layers == ref.partition.layers
+        assert out.round_recovery["respawns"] > 0
+        assert _shm_segments() <= before
+
+    def test_unrecoverable_fault_surfaces_and_cleans_up(
+        self, fresh_pool_env
+    ):
+        before = _shm_segments()
+        with faults.inject(FaultPlan(kinds=("crash",), seed=2, rate=1.0)):
+            with pytest.raises(
+                WorkerPoolError, match="injected worker fault"
+            ):
+                _partition(
+                    _graph(), engine="compiled", workers=2, shards=3,
+                    config=_NO_RECOVERY,
+                )
         assert _shm_segments() <= before
         assert multiprocessing.active_children() == []
 
-    def test_unpicklable_result_surfaces_clearly(self, fresh_pool_env):
-        os.environ[_FAULT_ENV] = "unpicklable"
-        with pytest.raises(WorkerPoolError, match="failed mid-round"):
-            _partition(_graph(), engine="compiled", workers=2, shards=3)
-
     def test_faulted_pool_is_replaced_on_next_run(self, fresh_pool_env):
-        os.environ[_FAULT_ENV] = "raise"
-        with pytest.raises(WorkerPoolError):
-            _partition(_graph(), engine="compiled", workers=2, shards=3)
-        os.environ.pop(_FAULT_ENV)
-        out = _partition(_graph(), engine="compiled", workers=2, shards=3)
-        ref = _partition(_graph(), engine="compiled", workers=1, shards=3)
+        with faults.inject(FaultPlan(kinds=("crash",), seed=2, rate=1.0)):
+            with pytest.raises(WorkerPoolError):
+                _partition(
+                    _graph(), engine="compiled", workers=2, shards=3,
+                    config=_NO_RECOVERY,
+                )
+        with faults.inject(None):
+            out = _partition(_graph(), engine="compiled", workers=2, shards=3)
+            ref = _partition(_graph(), engine="compiled", workers=1, shards=3)
         assert out.partition.layers == ref.partition.layers
