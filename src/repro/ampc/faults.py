@@ -57,7 +57,9 @@ on every shard result (the <3% recovery-overhead bench guard covers
 it).  :func:`rows_checksum` is the same digest over a row-resolution
 payload ``[(vertex, row), …]`` — the integrity contract a future
 socket/MPI transport attaches to every row message
-(:meth:`repro.ampc.messaging._Shard.install_ghosts` verifies it).
+(:meth:`repro.ampc.messaging._Shard.install_ghosts` verifies it; the
+in-process paths stamp one only under an active fault plan, since a
+same-process self-stamp can never detect corruption).
 """
 
 from __future__ import annotations

@@ -183,9 +183,15 @@ module's state:
 - **Row payloads are integrity-checked.**  Every worker result carries
   a splitmix64-chained CRC over its arrays and trace
   (:func:`repro.ampc.faults.payload_checksum`), and row-resolution
-  deliveries into :meth:`MessageFabric.install_ghosts` verify a
+  deliveries into :meth:`_Shard.install_ghosts` verify a
   :func:`repro.ampc.faults.rows_checksum` when one is supplied —
-  corruption becomes a detected retry, never a wrong partition.
+  corruption becomes a detected retry, never a wrong partition.  The
+  checksum parameter is the contract a real transport attaches to
+  every row message; the in-process paths hand ``install_ghosts`` the
+  very objects the serving side would digest, so they stamp one only
+  under an active fault plan (:func:`_rows_stamp`) — keeping the
+  verify path exercised by the chaos tier without paying a double
+  digest on every fault-free delivery.
 
 A :class:`MemoryGuardError` stays a deterministic protocol outcome:
 the serial fabric would raise it identically, so the supervisor never
@@ -1056,6 +1062,22 @@ class _CountScratch(dict):
         return 0
 
 
+def _rows_stamp(rows: list[tuple[int, np.ndarray]]) -> int | None:
+    """Checksum a row-resolution payload for in-process delivery.
+
+    In-process, :meth:`_Shard.install_ghosts` receives the very objects
+    the serving side would digest, so a self-stamped checksum can never
+    detect corruption — the parameter exists as the integrity contract
+    a future socket/MPI transport attaches to each row message.  Stamp
+    (and thereby verify) only under an active fault plan, so the chaos
+    tier keeps the verify path exercised while fault-free deliveries —
+    including the serial path — skip the double digest.
+    """
+    if faults.active_plan() is None:
+        return None
+    return faults.rows_checksum(rows)
+
+
 def run_shard_chain(
     offsets: np.ndarray,
     targets: np.ndarray,
@@ -1136,7 +1158,7 @@ def run_shard_chain(
                 (v, targets[offsets[v]:offsets[v + 1]].copy())
                 for v in wanted.tolist()
             ]
-            shard.install_ghosts(rows, checksum=faults.rows_checksum(rows))
+            shard.install_ghosts(rows, checksum=_rows_stamp(rows))
             run.attribute_expansions(set(extra.tolist()))
         shard.evict_ghosts(run.pinned_ghosts())
         if run.pending().size:
@@ -1410,9 +1432,7 @@ class MessageFabric:
                         messages=self._row_segments(row_words),
                     )
                     comm["rows_served"] += len(rows)
-                    shard.install_ghosts(
-                        rows, checksum=faults.rows_checksum(rows)
-                    )
+                    shard.install_ghosts(rows, checksum=_rows_stamp(rows))
                 runs[sid].attribute_expansions(set(extra.tolist()))
             for run in runs:
                 run.shard.evict_ghosts(run.pinned_ghosts())
@@ -1527,9 +1547,20 @@ class MessageFabric:
         comm["comm_overlap_s"] += state["overlap"]
 
         per_shard = []
+        dispatched = {job[0] for job in jobs}
         for sid in range(num):
             res = shard_res[sid]
             if res is None:
+                if sid in dispatched:
+                    # The supervisor contract is exactly-once delivery
+                    # per dispatched shard; an empty fill here would
+                    # complete the round with a wrong partition, so a
+                    # missing result is a loud driver bug, never a
+                    # default.
+                    raise RuntimeError(
+                        f"fabric shard {sid} was dispatched but never "
+                        "delivered a result"
+                    )
                 per_shard.append({
                     "positions": pos_by[sid], "roots": roots_by[sid],
                     "reads": np.zeros(0, dtype=np.int64),

@@ -734,11 +734,11 @@ class CoinGamePool:
     def _backoff_delay(
         base: float, rnd: int, shard: int, attempt: int
     ) -> float:
-        """Seed-jittered exponential backoff before a re-dispatch.
+        """Seed-jittered exponential backoff window before a re-dispatch.
 
         Deterministic in the (round, shard, attempt) key — same
         splitmix64 mix as the fault plans — so a replayed chaos
-        schedule sleeps identically; the jitter (±50% around the
+        schedule backs off identically; the jitter (±50% around the
         exponential base) keeps retried shards of one round from
         hammering the respawned executor in lockstep.
         """
@@ -793,6 +793,8 @@ class CoinGamePool:
         degraded: list[int] = []
         inflight: dict = {}  # future -> shard key
         started: dict = {}  # future -> perf_counter when seen running
+        defer: dict[int, float] = {}  # key -> earliest re-submit time
+        resume_at = 0.0  # pool-wide respawn backoff gate
         slowest_done: float | None = None
         respawns_here = 0
 
@@ -805,6 +807,7 @@ class CoinGamePool:
                 rec[counter] += 1
 
         while pending or inflight:
+            now = time.perf_counter()
             requeue, pending = pending, []
             for key in requeue:
                 if attempts[key] > max_retries:
@@ -818,14 +821,23 @@ class CoinGamePool:
                             outcomes=outcomes[key], cause=last_cause[key],
                         ) from last_cause[key]
                     degraded.append(key)
+                    defer.pop(key, None)
                     continue
-                if attempts[key] > 0:
-                    t0 = time.perf_counter()
-                    time.sleep(self._backoff_delay(
+                if attempts[key] > 0 and key not in defer:
+                    # Backoff is *scheduled*, never slept inline: the
+                    # key waits out its window in ``pending`` while the
+                    # loop keeps collecting sibling results and running
+                    # deadline/hang detection.
+                    delay = self._backoff_delay(
                         backoff_s, rnd, key, attempts[key]
-                    ))
+                    )
+                    defer[key] = now + delay
                     rec["retries"] += 1
-                    rec["recovery_wall_s"] += time.perf_counter() - t0
+                    rec["recovery_wall_s"] += delay
+                if max(defer.get(key, 0.0), resume_at) > now:
+                    pending.append(key)  # backoff window still open
+                    continue
+                defer.pop(key, None)
                 try:
                     fut = submit(
                         self._ensure_executor(), key,
@@ -837,21 +849,37 @@ class CoinGamePool:
                     # still handing out siblings), in which case submit
                     # raises synchronously instead of returning a
                     # failed future.  Same recovery as an in-flight
-                    # break: count the loss, reap, respawn, re-queue.
-                    t0 = time.perf_counter()
+                    # break: count the loss, reap, gate resubmission
+                    # behind the respawn backoff, re-queue.
                     lose(key, f"broken pool at submit: {exc}", exc)
                     self._teardown_executor()
                     rec["worker_faults"] += 1
                     rec["respawns"] += 1
                     respawns_here += 1
-                    time.sleep(self._backoff_delay(
+                    delay = self._backoff_delay(
                         backoff_s, rnd, num_jobs, respawns_here
-                    ))
-                    rec["recovery_wall_s"] += time.perf_counter() - t0
+                    )
+                    resume_at = time.perf_counter() + delay
+                    rec["recovery_wall_s"] += delay
                     continue
                 inflight[fut] = key
             if not inflight:
-                break
+                # Nothing in flight: either every shard is delivered or
+                # degraded (the ``while`` condition ends the loop), or
+                # the still-pending shards are all waiting out backoff
+                # windows — sleep until the earliest one opens, then
+                # resubmit.  Never ``break`` here: dropping a non-empty
+                # ``pending`` would silently lose shards and complete
+                # the round with a wrong partition.
+                if pending:
+                    now = time.perf_counter()
+                    wake = min(
+                        max(defer.get(key, 0.0), resume_at)
+                        for key in pending
+                    )
+                    if wake > now:
+                        time.sleep(min(wake - now, _SUPERVISOR_POLL_S))
+                continue
             limit = deadline_s
             if slowest_done is not None:
                 # Adaptive hang detection: once a sibling shard of this
@@ -910,8 +938,8 @@ class CoinGamePool:
             if broken is not None:
                 # A dead worker breaks the whole executor: every
                 # in-flight future fails, so mark them all lost, reap
-                # the wreckage, and respawn with backoff.
-                t0 = time.perf_counter()
+                # the wreckage, and gate resubmission behind the
+                # respawn backoff.
                 for fut, key in list(inflight.items()):
                     lose(key, "lost to broken pool", broken)
                 inflight.clear()
@@ -920,10 +948,11 @@ class CoinGamePool:
                 rec["worker_faults"] += 1
                 rec["respawns"] += 1
                 respawns_here += 1
-                time.sleep(self._backoff_delay(
+                delay = self._backoff_delay(
                     backoff_s, rnd, num_jobs, respawns_here
-                ))
-                rec["recovery_wall_s"] += time.perf_counter() - t0
+                )
+                resume_at = time.perf_counter() + delay
+                rec["recovery_wall_s"] += delay
                 continue
             expired = {
                 fut for fut in inflight
@@ -962,7 +991,7 @@ class CoinGamePool:
         # inline on the driver — the same pure function, serially, with
         # no fault plan — so the round completes bit-identically.  Only
         # inline execution itself failing raises.
-        for key in degraded:
+        for idx, key in enumerate(degraded):
             rec["degraded_shards"] += 1
             t0 = time.perf_counter()
             try:
@@ -981,7 +1010,10 @@ class CoinGamePool:
                     outcomes=outcomes[key], cause=exc,
                 ) from exc
             rec["recovery_wall_s"] += time.perf_counter() - t0
-            deliver(key, result, False)
+            # ``others_running`` reflects the degraded shards still to
+            # run inline, keeping the fabric's comm-overlap accounting
+            # on its "exactly one per shard" semantics.
+            deliver(key, result, idx + 1 < len(degraded))
 
     def run_games(
         self,

@@ -305,6 +305,46 @@ class TestTeardownHygiene:
         assert rec["respawns"] >= 1
         assert rec["retries"] >= 1
 
+    def test_persistently_broken_submit_degrades_instead_of_dropping(
+        self, fresh_pool_env, monkeypatch
+    ):
+        # Regression: when *every* submit of a pass raises
+        # BrokenProcessPool synchronously (an executor broken by a prior
+        # round, or the last shard after its siblings degraded), the
+        # supervisor ends the pass with nothing in flight while the lost
+        # shards sit re-queued in `pending`.  An early `break` there
+        # dropped them — never delivered, never degraded, no error — and
+        # the round completed with a wrong partition.  The loop must
+        # instead keep draining `pending` until each shard is delivered
+        # or runs inline as degraded.
+        pool = shared_pool(2)
+        monkeypatch.setattr(pool, "_ensure_executor", lambda: None)
+
+        def submit(executor, key, fault_key, plan):
+            raise BrokenProcessPool("permanently broken")
+
+        delivered = []
+        with faults.inject(None):
+            pool._run_supervised(
+                2,
+                submit,
+                inline=lambda key: ("inline", key),
+                deliver=lambda key, result, others: delivered.append(
+                    (key, result, others)
+                ),
+                verify=lambda result: None,
+                config=_FAST,
+            )
+        assert sorted(delivered) == [
+            # others_running reflects the degraded shards still queued
+            # behind this one (exactly-once, overlap-accounted).
+            (0, ("inline", 0), True),
+            (1, ("inline", 1), False),
+        ]
+        assert pool.recovery["degraded_shards"] == 2
+        assert pool.recovery["respawns"] >= 1
+        assert not pool.closed
+
     def test_teardown_executor_keeps_pool_open(self, fresh_pool_env):
         pool = shared_pool(2)
         pool._ensure_executor()

@@ -193,3 +193,17 @@ class TestChecksums:
             shard.install_ghosts(rows, checksum=rows_checksum(rows) ^ 1)
         shard.install_ghosts(rows, checksum=rows_checksum(rows))
         assert 1 in shard.ghosts
+
+    def test_rows_stamp_gated_on_active_plan(self):
+        # In-process delivery digests the very objects the serving side
+        # would, so a self-stamp can never detect corruption: the
+        # fault-free paths must skip it (it would double the digest cost
+        # of every row delivery), while chaos mode keeps the verify path
+        # exercised.
+        from repro.ampc.messaging import _rows_stamp
+
+        rows = [(1, np.array([0], dtype=np.int64))]
+        with faults.inject(None):
+            assert _rows_stamp(rows) is None
+        with faults.inject(FaultPlan(seed=7, rate=0.5)):
+            assert _rows_stamp(rows) == rows_checksum(rows)
