@@ -102,6 +102,10 @@ def bench_pipeline(graph: Graph, config: dict, seed_baseline_s: float | None) ->
     current_s = time.perf_counter() - start
     out = {
         "current_two_plus_eps_s": round(current_s, 3),
+        # The engine the partition actually ran on (compiled may have
+        # degraded to batched), so the tracked JSON says what produced
+        # its wall-clock.
+        "engine": result.details.get("partition_engine"),
         "num_colors": result.num_colors,
         "palette_bound": result.palette_bound,
         "total_rounds": result.total_rounds,

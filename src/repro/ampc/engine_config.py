@@ -77,10 +77,13 @@ def _env_engine(name: str, raw: str) -> str:
 class EngineConfig:
     """One run's engine knobs (see module docstring for the defaults).
 
-    ``message_cap_words`` and ``shard_budget_words`` configure the
-    message-passing fabric (:mod:`repro.ampc.messaging`): the maximum
-    payload of one delivery segment, and the per-shard S budget every
-    held array is accounted against (None: account but never raise).
+    ``message_cap_words``, ``shard_budget_words``, and
+    ``ghost_cache_words`` configure the message-passing fabric
+    (:mod:`repro.ampc.messaging`): the maximum payload of one delivery
+    segment, the per-shard S budget every held array is accounted
+    against (None: account but never raise), and the per-shard word
+    budget of the cross-round ghost cache (0 disables it; a budgeted
+    shard never caches regardless — see the messaging docstring).
     """
 
     cohort_games: int
@@ -90,6 +93,7 @@ class EngineConfig:
     replay_poor_streak: int
     message_cap_words: int
     shard_budget_words: int | None = None
+    ghost_cache_words: int = 0
     # Round-supervisor knobs (repro.ampc.pool): how many times a lost
     # or corrupted shard chain is re-dispatched before the driver runs
     # it inline (or, with pool_degrade=False, raises WorkerPoolError);
@@ -164,6 +168,11 @@ class EngineConfig:
             ),
             shard_budget_words=get(
                 "REPRO_SHARD_BUDGET_WORDS", None, _env_int, 1
+            ),
+            ghost_cache_words=get(
+                "REPRO_GHOST_CACHE_WORDS", messaging.GHOST_CACHE_WORDS,
+                # >= 0: zero disables the cross-round ghost cache.
+                _env_int, 0,
             ),
             max_shard_retries=get(
                 "REPRO_MAX_SHARD_RETRIES", pool.MAX_SHARD_RETRIES,

@@ -46,6 +46,11 @@ Fault kinds
     The worker drops its cached shared-memory CSR attachment and raises
     — the lost-segment path: the retry re-attaches from the driver's
     still-alive segments.
+``slab``
+    The worker corrupts one served row-resolution slab after stamping
+    its :func:`rows_checksum` — the row-message integrity path:
+    ``install_ghosts`` rejects the slab before any ghost mutates, the
+    attempt dies with a :class:`ChecksumError`, and the retry redraws.
 
 Checksums
 ---------
@@ -55,7 +60,7 @@ its byte length through a splitmix64 finalizer, chained across arrays —
 an xxhash-style order-sensitive digest that is cheap enough to verify
 on every shard result (the <3% recovery-overhead bench guard covers
 it).  :func:`rows_checksum` is the same digest over a row-resolution
-payload ``[(vertex, row), …]`` — the integrity contract a future
+slab ``(ids, lens, targets)`` — the integrity contract a future
 socket/MPI transport attaches to every row message
 (:meth:`repro.ampc.messaging._Shard.install_ghosts` verifies it; the
 in-process paths stamp one only under an active fault plan, since a
@@ -86,6 +91,7 @@ __all__ = [
 
 FAULT_KINDS = (
     "crash", "exit", "hang", "slow", "garbage", "unpicklable", "shm-detach",
+    "slab",
 )
 
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -315,6 +321,11 @@ def apply_pre(spec: FaultSpec | None) -> None:
     if spec.kind in ("hang", "slow"):
         time.sleep(spec.seconds)
         return
+    if spec.kind == "slab":
+        # Fires inside run_shard_chain's first row exchange instead: the
+        # worker corrupts one served slab *after* stamping its checksum,
+        # so install_ghosts' slab-granular verify must reject it.
+        return
     if spec.kind == "shm-detach":
         # Simulate losing the shared-memory attachment mid-round: drop
         # the worker's cached CSR so the retry must re-attach from the
@@ -346,12 +357,19 @@ def payload_checksum(*items) -> int:
     return h
 
 
-def rows_checksum(rows: list[tuple[int, np.ndarray]]) -> int:
-    """Digest of one row-resolution payload ``[(vertex, row), …]``."""
+def rows_checksum(
+    ids: np.ndarray, lens: np.ndarray, targets: np.ndarray
+) -> int:
+    """Digest of one row-resolution slab ``(ids, lens, targets)``.
+
+    The digest is slab-granular — one CRC pass per packed array, not a
+    python loop over rows — matching the columnar wire format
+    :meth:`repro.ampc.messaging._Shard.serve_rows` ships and
+    :meth:`~repro.ampc.messaging._Shard.install_ghosts` verifies.
+    """
     h = 0x452821E638D01377
-    for v, row in rows:
-        h = _mix64(h ^ (int(v) + _GAMMA))
-        arr = np.ascontiguousarray(row, dtype=np.int64)
+    for arr in (ids, lens, targets):
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
         h = _mix64(h ^ zlib.crc32(arr))
         h = _mix64(h ^ len(arr))
     return h

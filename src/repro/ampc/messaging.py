@@ -13,7 +13,9 @@ simulated distributed fabric in which each shard holds only
 - a **bounded ghost fringe** — rows of foreign vertices a shard's games
   explored this round, fetched on demand and evicted as soon as no
   still-unresolved game pins them (see *ghost-fringe invalidation*
-  below); ghosts never survive a round boundary;
+  below), stored as one appendable compacted CSR rather than a per-row
+  dict; a configurable slice of it (the **cross-round ghost cache**)
+  survives round boundaries under its own ``ghost_cache`` guard tag;
 - **round-local scratch** — the compacted local CSR and fold
   accumulators of the games currently replaying.
 
@@ -43,8 +45,11 @@ are surfaced through the ``comm`` dict and
     Shard → owner, per sub-round: the vertex ids of rows that games
     explored but the shard does not hold.
 ``row-resolution``
-    Owner → shard: the requested residual rows, ``(id, len, targets…)``
-    per row, packed into ≤ ``cap_words`` delivery segments.
+    Owner → shard: the requested residual rows as one packed columnar
+    slab — three int64 arrays ``(ids, lens, targets)`` per
+    (owner → requester, sub-round) pair, ``2 + len`` payload words per
+    row exactly as the old per-row framing — split at row boundaries
+    into ≤ ``cap_words`` delivery segments.
 ``layer-proposal fold``
     Shard → owner, end of round: the ``(u, layer)`` proof entries of
     its finished games, routed to ``owner(u)``; owners min/+-fold them
@@ -99,19 +104,45 @@ games that explored a fringe vertex, i.e. games that are discarded.
 Ghost-fringe invalidation rules
 -------------------------------
 
-1.  Ghosts are round-local: cleared before a round's first sub-round
-    (the next round's games explore different balls, and retirement
-    would stale them anyway).
+1.  Ghosts may outlive the round that fetched them — retirement cannot
+    stale them.  Retirement-pruning is a *pure function of the
+    retirement set* (drop retired rows, filter retired ids out of the
+    surviving rows, drop rows with no surviving target), so a shard
+    applying that prune to a cached ghost row computes exactly what the
+    owner computes for its own copy: cached ghosts stay verbatim owner
+    copies across every round boundary.  The cross-round ghost cache
+    exploits this — at each round boundary every shard keeps the
+    highest-priority ghosts within ``cache_words`` (deterministic
+    seeded order over the residency counters), accounted under the
+    ``ghost_cache`` guard tag, and prunes them in lockstep with
+    retirement.  The caching policy is therefore fully described by the
+    cached id set plus residency counters: a pooled worker reconstructs
+    the cached rows verbatim from the round's shared CSR.
 2.  A game *pins* every row it has ever requested; pins drop when the
-    game commits.  After each exchange a shard evicts all ghosts with
-    no live pin — this bounds the fringe by the unresolved games' balls
-    while guaranteeing termination: a game's held set grows
-    monotonically, and each re-run either commits or requests a row it
-    never held, so sub-rounds are bounded by the largest ball.
+    game commits.  Mid-round eviction is S-budget discipline, so only
+    *budgeted* shards evict between exchanges — dropping the unpinned
+    *round-local* ghosts (cached rows ride out the round) bounds the
+    fringe by the unresolved games' balls.  An unbudgeted shard keeps
+    its whole fringe until ``finish_round``: evicting rows whose pins
+    dropped only because their games committed forces the still-pending
+    tail to re-request them a wave later (evict/refetch thrash), and
+    with no budget there is nothing to protect.  Either way termination
+    holds: a game's held set grows monotonically, and each re-run
+    either commits or requests a row it never held, so sub-rounds are
+    bounded by the largest ball.  The rule is a function of shard-local
+    state only, so the serial loop and the pooled worker chains make
+    identical decisions.
 3.  Owned rows are never ghosted (the owner serves its own reads), and
     a ghost is always a verbatim copy of the owner's current row —
-    rows only change at retirement, which happens between rounds, when
-    no ghosts exist.
+    rows only change at retirement, which happens between rounds, and
+    the cache prunes in lockstep (rule 1).
+
+Like speculation, the cache is a pure wall-clock optimization, and for
+the same reason a *budgeted* shard never caches: cached rows consume
+headroom that no request-time check can bound against the next round's
+peak, and direct fetches alone already color every graph the budget
+admits.  The cache can therefore never turn a feasible run infeasible,
+and comm counters with the cache on simply record fewer re-fetches.
 
 Parallel shard execution (the process-pool transport)
 -----------------------------------------------------
@@ -122,10 +153,11 @@ chain to the persistent worker pool
 :func:`run_shard_chain`) instead of interleaving the shards in-process.
 This is sound because a shard's chain is a pure function of
 ``(global residual CSR, its roots, shard count, engine, config,
-budget)``: every row another shard would serve it is a verbatim slice
-of that CSR (ghosts are exact copies and rows never change
-mid-round), so a worker holding the round's shared CSR can serve its
-own row requests — including the seeded first exchange and the
+budget, cached ghost ids + residency counters)``: every row another
+shard would serve it — and every cached ghost row (invalidation rule
+1) — is a verbatim slice of that CSR (ghosts are exact copies and
+rows never change mid-round), so a worker holding the round's shared
+CSR can serve its own row requests — including the seeded first exchange and the
 doubling speculative-prefetch balls (radius ``2^(k-1)`` capped at
 :data:`PREFETCH_RADIUS_CAP`; budgeted shards never speculate) — and
 replay exactly the sub-round chain the serial fabric would run.
@@ -215,6 +247,7 @@ import numpy as np
 from repro.ampc import faults
 
 __all__ = [
+    "GHOST_CACHE_WORDS",
     "MESSAGE_CAP_WORDS",
     "MemoryGuard",
     "MemoryGuardError",
@@ -235,12 +268,34 @@ PREFETCH_RADIUS_CAP = 16
 # serving to cap-radius speculative balls (the deep-tail regime).
 PREFETCH_TAIL_IDS = 2048
 
+# Default per-shard budget of the cross-round ghost cache, in int64
+# words (EngineConfig.ghost_cache_words / $REPRO_GHOST_CACHE_WORDS
+# override it; 0 disables the cache, budgeted shards never cache).
+GHOST_CACHE_WORDS = 1 << 18
+
+# Seed of the ghost-cache eviction tie-break: retention order is
+# splitmix64(id ^ seed) within equal residency, so the policy is
+# deterministic across runs, processes, and transports.
+_GHOST_CACHE_SEED = 0x6A09E667F3BCC908
+
 _EMPTY = np.empty(0, dtype=np.int64)
 _INF = float("inf")
 
 _GAMMA = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix_ids(vertices: np.ndarray, seed: int) -> np.ndarray:
+    """Full splitmix64 finalizer of ``vertices ^ seed`` (the ghost-cache
+    eviction tie-break; same mix as :func:`owner_of`)."""
+    z = (
+        np.asarray(vertices, dtype=np.int64).astype(np.uint64)
+        ^ np.uint64(seed)
+    ) + _GAMMA
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31))
 
 
 def owner_of(vertices: np.ndarray, num_shards: int) -> np.ndarray:
@@ -386,16 +441,39 @@ def _segment_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
 class _Shard:
     """One simulated machine: owned rows + ghost fringe, all guarded."""
 
-    def __init__(self, sid: int, num_shards: int, budget_words: int | None):
+    def __init__(
+        self, sid: int, num_shards: int, budget_words: int | None,
+        cache_words: int = 0,
+    ):
         self.sid = sid
         self.num_shards = num_shards
         self.guard = MemoryGuard(budget_words, name=f"shard[{sid}]")
+        # The cross-round ghost cache is a pure wall-clock optimization;
+        # a budgeted shard never caches (same argument as speculation —
+        # see MessageFabric.run_round and invalidation rule 1).
+        self.cache_words = 0 if budget_words is not None else int(cache_words)
         self.row_ids = _EMPTY  # sorted owned ids with a stored row
         self.row_offsets = np.zeros(1, dtype=np.int64)
         self.row_targets = _EMPTY
-        self.ghosts: dict[int, np.ndarray] = {}
-        self._ghost_words = 0
+        # Ghost fringe: an appendable compacted CSR.  ghost_ids is
+        # sorted; (ghost_starts, ghost_lens) slice rows out of the
+        # append-only _arena (compacted when dead words dominate).
+        # ghost_rounds is the residency counter: round boundaries a
+        # ghost has survived (0 = fetched this round — the round-local
+        # fringe; >= 1 = the cross-round cache).
+        self.ghost_ids = _EMPTY
+        self.ghost_starts = _EMPTY
+        self.ghost_lens = _EMPTY
+        self.ghost_rounds = _EMPTY
+        self._arena = _EMPTY
+        self._arena_used = 0
+        self._fringe_words = 0  # 1 + len per rounds==0 ghost
+        self._cache_words = 0   # 1 + len per rounds>=1 ghost
         self._owned_index: dict[int, int] | None = None
+        # Per-round ghost delta log, consumed by _ShardRound's
+        # incremental local CSR (cleared at build and at finish_round).
+        self._log_added: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._log_removed: list[np.ndarray] = []
 
     # -- owned rows --------------------------------------------------------
 
@@ -429,44 +507,49 @@ class _Shard:
             ]
         return _EMPTY
 
-    def serve_rows(self, ids: np.ndarray) -> list[tuple[int, np.ndarray]]:
-        """Bulk :meth:`owned_row` for one request batch (one lookup pass
-        instead of a searchsorted per row — serving is driver-hot)."""
+    def row_extents(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(start, len)`` of each requested owned row — the single
+        sizing rule :meth:`serve_rows` and :meth:`served_words` share,
+        so word accounting can never drift from the payloads actually
+        shipped.  A vertex without a stored row (missing, or implicitly
+        empty) extends to length 0."""
         pos = np.searchsorted(self.row_ids, ids)
         inb = pos < len(self.row_ids)
         hit = np.zeros(len(ids), dtype=bool)
         hit[inb] = self.row_ids[pos[inb]] == ids[inb]
         starts = self.row_offsets[pos]
         ends = self.row_offsets[np.minimum(pos + 1, len(self.row_ids))]
-        targets = self.row_targets
-        return [
-            (v, targets[s:e].copy() if h else _EMPTY)
-            for v, s, e, h in zip(
-                ids.tolist(), starts.tolist(), ends.tolist(), hit.tolist()
-            )
-        ]
+        lens = np.where(hit, ends - starts, 0)
+        return np.where(hit, starts, 0), lens
 
-    def served_words(self, ids: np.ndarray) -> list[int]:
+    def serve_rows(
+        self, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One packed ``(ids, lens, targets)`` slab for a request batch
+        — the columnar row-resolution wire format (one gather instead
+        of a python tuple per row; serving is driver-hot).  Payload
+        words are ``2 + len`` per row, identical to the old per-row
+        framing, so comm accounting semantics are unchanged."""
+        starts, lens = self.row_extents(ids)
+        return ids, lens, self.row_targets[_segment_indices(starts, lens)]
+
+    def served_words(self, ids: np.ndarray) -> np.ndarray:
         """Payload words :meth:`serve_rows` would ship per id, without
         materializing the rows (the pooled driver replays a worker's
         row exchanges for accounting only — the worker already served
         itself from the shared CSR)."""
-        pos = np.searchsorted(self.row_ids, ids)
-        inb = pos < len(self.row_ids)
-        hit = np.zeros(len(ids), dtype=bool)
-        hit[inb] = self.row_ids[pos[inb]] == ids[inb]
-        lens = (
-            self.row_offsets[np.minimum(pos + 1, len(self.row_ids))]
-            - self.row_offsets[pos]
-        )
-        return (2 + np.where(hit, lens, 0)).tolist()
+        return 2 + self.row_extents(ids)[1]
 
     def retire(self, retired: np.ndarray) -> None:
         """Drop retired owned rows; prune retired ids from the rest.
 
         Filtering preserves target order, so the pruned slice equals the
-        owner partition of the next round's residual CSR.
+        owner partition of the next round's residual CSR.  Cached ghost
+        rows get the *identical* prune (invalidation rule 1): the prune
+        is a pure function of the retirement set, so a pruned cached
+        ghost stays a verbatim copy of the owner's pruned row.
         """
+        self._retire_ghosts(retired)
         if not len(self.row_ids):
             return
         keep_rows = ~_in_sorted(self.row_ids, retired)
@@ -501,55 +584,237 @@ class _Shard:
 
     # -- ghost fringe ------------------------------------------------------
 
+    def _reserve(self, count: int) -> int:
+        """Arena space for ``count`` more words; returns the write start."""
+        need = self._arena_used + count
+        if need > len(self._arena):
+            grown = np.empty(max(need, 2 * len(self._arena), 1024), np.int64)
+            grown[: self._arena_used] = self._arena[: self._arena_used]
+            self._arena = grown
+        start = self._arena_used
+        self._arena_used = need
+        return start
+
+    def _ghost_slab(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The whole ghost store as one compacted (ids, lens, targets)."""
+        return (
+            self.ghost_ids,
+            self.ghost_lens,
+            self._arena[_segment_indices(self.ghost_starts, self.ghost_lens)],
+        )
+
+    def ghost_row(self, v: int) -> np.ndarray | None:
+        """The ghost row of ``v``, or None when not ghosted."""
+        i = int(np.searchsorted(self.ghost_ids, v))
+        if i < len(self.ghost_ids) and self.ghost_ids[i] == v:
+            s = self.ghost_starts[i]
+            return self._arena[s:s + self.ghost_lens[i]]
+        return None
+
+    def _account_ghosts(self) -> None:
+        if self._fringe_words:
+            self.guard.account("ghost_fringe", self._fringe_words)
+        else:
+            self.guard.release("ghost_fringe")
+        if self._cache_words:
+            self.guard.account("ghost_cache", self._cache_words)
+        else:
+            self.guard.release("ghost_cache")
+
+    def _set_ghost_store(
+        self, ids: np.ndarray, lens: np.ndarray, targets: np.ndarray,
+        rounds: np.ndarray,
+    ) -> None:
+        """Replace the ghost store with a compacted (ids, lens, targets,
+        rounds) quadruple and re-account both guard tags."""
+        self.ghost_ids = ids
+        self.ghost_lens = lens
+        self.ghost_rounds = rounds
+        self.ghost_starts = np.cumsum(lens) - lens
+        self._arena = targets
+        self._arena_used = len(targets)
+        fresh = rounds == 0
+        held = 1 + lens
+        self._fringe_words = int(held[fresh].sum())
+        self._cache_words = int(held.sum()) - self._fringe_words
+        self._account_ghosts()
+
     def install_ghosts(
         self,
-        rows: list[tuple[int, np.ndarray]],
+        ids: np.ndarray,
+        lens: np.ndarray,
+        targets: np.ndarray,
         checksum: int | None = None,
     ) -> None:
-        # A checksum (computed by the serving side over the same
-        # payload) guards the row-resolution delivery: a corrupted
-        # batch is rejected *before* any ghost mutates, so the caller
-        # can convert it into a retry.
+        """Install one row-resolution slab into the ghost fringe.
+
+        The checksum (computed by the serving side over the same slab)
+        and the guard charge both run *before* any ghost mutates: a
+        corrupted or over-budget slab is rejected with the store — and
+        its accounting — exactly as it was, so the caller can convert
+        the failure into a retry (or shed load) without rollback.
+        """
         if checksum is not None:
-            observed = faults.rows_checksum(rows)
+            observed = faults.rows_checksum(ids, lens, targets)
             if observed != checksum:
                 raise faults.ChecksumError(
                     f"row-resolution payload checksum mismatch on shard "
                     f"{self.sid}: expected {checksum:#x}, got "
                     f"{observed:#x}"
                 )
-        words = self._ghost_words
-        ghosts = self.ghosts
-        for v, row in rows:
-            old = ghosts.get(v)
-            if old is not None:
-                words -= 1 + len(old)
-            ghosts[v] = row
-            words += 1 + len(row)
-        self._ghost_words = words
-        self.guard.account("ghost_fringe", words)
+        ids = np.asarray(ids, dtype=np.int64)
+        lens = np.asarray(lens, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if len(self.ghost_ids) and _in_sorted(ids, self.ghost_ids).any():
+            # Cannot happen in-protocol (missing rows are unheld and
+            # speculative cargo skips held rows); reject loudly instead
+            # of silently double-holding a row.
+            raise ValueError("row-resolution slab overlaps held ghosts")
+        words = self._fringe_words + len(ids) + int(lens.sum())
+        self.guard.account("ghost_fringe", words)  # raises pre-commit
+        self._fringe_words = words
+        start = self._reserve(len(targets))
+        self._arena[start:start + len(targets)] = targets
+        starts = start + np.cumsum(lens) - lens
+        ins = np.searchsorted(self.ghost_ids, ids)
+        self.ghost_ids = np.insert(self.ghost_ids, ins, ids)
+        self.ghost_starts = np.insert(self.ghost_starts, ins, starts)
+        self.ghost_lens = np.insert(self.ghost_lens, ins, lens)
+        self.ghost_rounds = np.insert(self.ghost_rounds, ins, 0)
+        self._log_added.append((ids, lens, targets))
 
-    def evict_ghosts(self, pinned: set[int]) -> None:
-        ghosts = self.ghosts
-        words = self._ghost_words
-        for v in [v for v in ghosts if v not in pinned]:
-            words -= 1 + len(ghosts.pop(v))
-        self._ghost_words = words
-        self.guard.account("ghost_fringe", words)
+    def evict_ghosts(self, pinned: np.ndarray) -> None:
+        """Evict unpinned round-local ghosts (cached rows ride out the
+        round — invalidation rule 2)."""
+        if not len(self.ghost_ids):
+            return
+        keep = self.ghost_rounds > 0
+        keep |= _in_sorted(self.ghost_ids, pinned)
+        if keep.all():
+            return
+        dropped = self.ghost_ids[~keep]
+        freed = len(dropped) + int(self.ghost_lens[~keep].sum())
+        self.ghost_ids = self.ghost_ids[keep]
+        self.ghost_starts = self.ghost_starts[keep]
+        self.ghost_lens = self.ghost_lens[keep]
+        self.ghost_rounds = self.ghost_rounds[keep]
+        self._fringe_words -= freed
+        self._account_ghosts()
+        self._log_removed.append(dropped)
+        live = int(self.ghost_lens.sum())
+        if self._arena_used > 2 * live + 1024:
+            self._set_ghost_store(*self._ghost_slab(), self.ghost_rounds)
+
+    def finish_round(self) -> int:
+        """Round-boundary cache retention; returns the eviction count.
+
+        Keeps the highest-priority ghosts whose ``1 + len`` words fit in
+        ``cache_words`` and drops the rest.  Priority is deterministic
+        and seeded: lowest residency counter first (the most recently
+        fetched fringe — next round's balls overlap this round's last
+        waves most), ``splitmix64(id ^ seed)`` as the tie-break.
+        Survivors age one residency round and move from the
+        ``ghost_fringe`` tag to ``ghost_cache``.
+        """
+        evicted = 0
+        if len(self.ghost_ids):
+            total = len(self.ghost_ids)
+            if self.cache_words <= 0:
+                keep = np.zeros(0, dtype=np.int64)
+            else:
+                prio = np.lexsort((
+                    _mix_ids(self.ghost_ids, _GHOST_CACHE_SEED),
+                    self.ghost_rounds,
+                ))
+                cum = np.cumsum(1 + self.ghost_lens[prio])
+                keep = np.sort(prio[: int(np.searchsorted(
+                    cum, self.cache_words, side="right"
+                ))])
+            evicted = total - len(keep)
+            lens = self.ghost_lens[keep]
+            self._set_ghost_store(
+                self.ghost_ids[keep], lens,
+                self._arena[_segment_indices(self.ghost_starts[keep], lens)],
+                self.ghost_rounds[keep] + 1,
+            )
+        else:
+            self._fringe_words = 0
+            self._cache_words = 0
+            self._account_ghosts()
+        self._log_added.clear()
+        self._log_removed.clear()
+        return evicted
+
+    def seed_cache(
+        self, ids: np.ndarray, rounds: np.ndarray,
+        offsets: np.ndarray, targets: np.ndarray,
+    ) -> None:
+        """Reconstruct the cached ghost rows verbatim from the round's
+        global CSR (invalidation rule 1: a cached ghost row *is* the
+        owner's row, which is that CSR's row) and account them."""
+        lens = (offsets[ids + 1] - offsets[ids]) if len(ids) else _EMPTY
+        self._set_ghost_store(
+            np.asarray(ids, dtype=np.int64), lens,
+            targets[_segment_indices(offsets[ids], lens)]
+            if len(ids) else _EMPTY,
+            np.asarray(rounds, dtype=np.int64),
+        )
+
+    def mirror_cache(
+        self, ids: np.ndarray, rounds: np.ndarray,
+        offsets: np.ndarray, targets: np.ndarray,
+    ) -> None:
+        """Driver-side twin of :meth:`seed_cache` after a pooled round:
+        set the store without touching the guard (the worker's
+        accounting was already adopted verbatim)."""
+        lens = (offsets[ids + 1] - offsets[ids]) if len(ids) else _EMPTY
+        self.ghost_ids = np.asarray(ids, dtype=np.int64)
+        self.ghost_lens = lens
+        self.ghost_rounds = np.asarray(rounds, dtype=np.int64)
+        self.ghost_starts = np.cumsum(lens) - lens
+        self._arena = (
+            targets[_segment_indices(offsets[ids], lens)]
+            if len(ids) else _EMPTY
+        )
+        self._arena_used = len(self._arena)
+        self._fringe_words = 0
+        self._cache_words = int((1 + lens).sum()) if len(ids) else 0
+        self._log_added.clear()
+        self._log_removed.clear()
 
     def clear_ghosts(self) -> None:
-        self.ghosts.clear()
-        self._ghost_words = 0
+        self.ghost_ids = _EMPTY
+        self.ghost_starts = _EMPTY
+        self.ghost_lens = _EMPTY
+        self.ghost_rounds = _EMPTY
+        self._arena = _EMPTY
+        self._arena_used = 0
+        self._fringe_words = 0
+        self._cache_words = 0
         self.guard.release("ghost_fringe")
+        self.guard.release("ghost_cache")
+        self._log_added.clear()
+        self._log_removed.clear()
 
-    def ghost_ids(self) -> np.ndarray:
-        if not self.ghosts:
-            return _EMPTY
-        ids = np.fromiter(
-            self.ghosts.keys(), dtype=np.int64, count=len(self.ghosts)
+    def _retire_ghosts(self, retired: np.ndarray) -> None:
+        """The owner's retirement prune, applied verbatim to cached
+        ghost rows (see :meth:`retire`): drop retired ghosts, filter
+        retired targets, drop rows with no surviving target — so every
+        cached row stays equal to the owner partition's row."""
+        if not len(self.ghost_ids):
+            return
+        ids, lens, targets = self._ghost_slab()
+        keep_rows = ~_in_sorted(ids, retired)
+        keep_tgts = ~_in_sorted(targets, retired)
+        row_index = np.repeat(np.arange(len(ids), dtype=np.int64), lens)
+        counts_all = np.bincount(row_index[keep_tgts], minlength=len(ids))
+        keep_rows &= counts_all > 0
+        self._set_ghost_store(
+            ids[keep_rows],
+            counts_all[keep_rows],
+            targets[keep_tgts & keep_rows[row_index]],
+            self.ghost_rounds[keep_rows],
         )
-        ids.sort()
-        return ids
 
     def held_mask(
         self, vertices: np.ndarray, ghost_ids: np.ndarray
@@ -563,7 +828,7 @@ class _Shard:
         """Held row of ``v`` (owned or ghost), or None when not held."""
         if int(owner_of(np.asarray([v]), self.num_shards)[0]) == self.sid:
             return self.owned_row(v)
-        return self.ghosts.get(v)
+        return self.ghost_row(v)
 
 
 class _ShardRound:
@@ -571,29 +836,39 @@ class _ShardRound:
 
     def __init__(
         self, shard: _Shard, roots: np.ndarray, positions: np.ndarray,
-        engine: str,
+        engine: str, want_records: bool = True,
     ) -> None:
         self.shard = shard
         self.roots = roots
         self.positions = positions
         self.engine = engine
+        self.want_records = want_records
         g = len(roots)
         self.valid = np.zeros(g, dtype=bool)
         self.reads = np.zeros(g, dtype=np.int64)
         self.writes = np.zeros(g, dtype=np.int64)
         self.ball_words = np.zeros(g, dtype=np.int64)
         self.records: list = [None] * g
-        self.missing: list[set[int]] = [set() for __ in range(g)]
-        self.fetched: list[set[int]] = [set() for __ in range(g)]
-        self.spec_pins: set[int] = set()
+        # Columnar (proof_u, proof_l) per committed game: the layer
+        # fold consumes these arrays directly, so the per-pair python
+        # record tuples are built only when a caller wants transcripts.
+        self.proof_cols: list = [None] * g
+        self.missing: list[np.ndarray] = [_EMPTY] * g
+        self.fetched: list[list[np.ndarray]] = [[] for __ in range(g)]
+        self.spec_pins: list[np.ndarray] = []
         self.replay_stats: dict = {}
         self.ejected_games = 0
+        # Incremental local CSR (built lazily on the first play; see
+        # _build_local / _advance_local) and its phase timings.
+        self._local: dict | None = None
+        self.compact_s = 0.0
+        self.play_s = 0.0
         shard.guard.account("game_assignments", 2 * g)
 
     def pending(self) -> np.ndarray:
         return np.flatnonzero(~self.valid)
 
-    def seed_missing(self, num_shards: int) -> None:
+    def seed_missing(self, num_shards: int) -> int:
         """Pre-play missing sets: the wave-one fringe needs no wave.
 
         Every game's root row is owned by this shard, so the rows its
@@ -605,71 +880,281 @@ class _ShardRound:
         that would have committed on the bare root row fetches a few
         rows it will not read — ghost words it pins anyway until it
         retires on the very next wave.
+
+        Root targets already held as cached ghosts are not missing —
+        the cross-round cache serving its purpose; returns the number
+        of distinct cached rows that absorbed a would-be fetch
+        (``ghost_cache_hits``).
         """
         shard = self.shard
-        row_ids = shard.row_ids
-        pos = np.searchsorted(row_ids, self.roots)
-        inb = pos < len(row_ids)
-        hit = np.zeros(len(self.roots), dtype=bool)
-        hit[inb] = row_ids[pos[inb]] == self.roots[inb]
-        starts = shard.row_offsets[pos]
-        ends = shard.row_offsets[np.minimum(pos + 1, len(row_ids))]
-        targets = shard.row_targets
-        owners_t = owner_of(targets, num_shards)
-        for i in np.flatnonzero(hit).tolist():
-            seg = slice(int(starts[i]), int(ends[i]))
-            off = targets[seg][owners_t[seg] != shard.sid]
-            if off.size:
-                self.missing[i] = set(off.tolist())
+        g = len(self.roots)
+        starts, lens = shard.row_extents(self.roots)
+        flat = shard.row_targets[_segment_indices(starts, lens)]
+        if not flat.size:
+            return 0
+        off = owner_of(flat, num_shards) != shard.sid
+        cached = _in_sorted(flat, shard.ghost_ids)
+        hits = int(len(_sorted_unique(flat[off & cached])))
+        want = off & ~cached
+        kept = flat[want]
+        kept_root = np.repeat(np.arange(g, dtype=np.int64), lens)[want]
+        counts = np.bincount(kept_root, minlength=g)
+        bounds = np.zeros(g + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        for i in np.flatnonzero(counts).tolist():
+            self.missing[i] = kept[bounds[i]:bounds[i + 1]]
+        return hits
 
     def missing_union(self) -> np.ndarray:
-        wanted: set[int] = set()
+        parts: list[np.ndarray] = []
         for i in self.pending().tolist():
-            wanted |= self.missing[i]
-            self.fetched[i] |= self.missing[i]
-        if not wanted:
+            miss = self.missing[i]
+            if len(miss):
+                parts.append(miss)
+                self.fetched[i].append(miss)
+        if not parts:
             return _EMPTY
-        return np.asarray(sorted(wanted), dtype=np.int64)
+        return _sorted_unique(np.concatenate(parts))
 
-    def pinned_ghosts(self) -> set[int]:
+    def pinned_ghosts(self) -> np.ndarray:
         pending = self.pending()
-        pins: set[int] = set()
+        parts: list[np.ndarray] = []
         for i in pending.tolist():
-            pins |= self.fetched[i]
+            parts.extend(self.fetched[i])
         if pending.size:
-            pins |= self.spec_pins
-        return pins
+            parts.extend(self.spec_pins)
+        if not parts:
+            return _EMPTY
+        return _sorted_unique(np.concatenate(parts))
 
-    def attribute_expansions(self, extra: set[int]) -> None:
+    def attribute_expansions(self, extra: np.ndarray) -> None:
         """Pin speculatively served rows for as long as any game is
         pending — they were speculated precisely for the pending tail,
-        and one shard-level set keeps the pin O(|extra|) instead of a
+        and one shard-level list keeps the pin O(|extra|) instead of a
         per-game union over thousands of fetched sets.  Directly
         requested rows keep their exact per-game pins in ``fetched``;
         everything unpins together once the last game commits."""
-        if extra:
-            self.spec_pins |= extra
+        if extra.size:
+            self.spec_pins.append(extra)
 
     # -- one sub-round of play --------------------------------------------
 
     def play(self, params: dict, config) -> None:
+        t0 = time.perf_counter()
+        c0 = self.compact_s
         if self.engine in ("batched", "compiled"):
             self._play_batched(params, config)
         else:
             self._play_scalar(params)
+        # Pure play wall: local-CSR maintenance is reported separately
+        # (the compact_s phase), so the two never double-count.
+        self.play_s += (time.perf_counter() - t0) - (self.compact_s - c0)
 
     def _commit(
-        self, i: int, reads: int, writes: int, record: tuple,
-        ball_words: int, ejected: bool,
+        self, i: int, reads: int, writes: int, record: tuple | None,
+        ball_words: int, ejected: bool, proof_cols: tuple | None = None,
     ) -> None:
         self.valid[i] = True
-        self.missing[i] = set()
+        self.missing[i] = _EMPTY
         self.reads[i] = reads
         self.writes[i] = writes
         self.records[i] = record
+        self.proof_cols[i] = proof_cols
         self.ball_words[i] = ball_words
         if ejected:
             self.ejected_games += 1
+
+    def proof_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Locally folded layer proposals: ``(vertices, minima, counts)``.
+
+        Engine paths commit columnar (proof_u, proof_l) arrays and
+        concatenate for free; scalar-path games (including ejected
+        replays) fall back to flattening their record tuples — the same
+        pairs either way.  The game shard then combines its own pairs
+        per vertex (min layer, proposal count) before they are routed
+        to vertex owners — the standard combiner: the owner-side fold
+        is min-of-mins and sum-of-counts, so the result is identical
+        while each shard forwards one triple per distinct vertex
+        instead of one pair per proposal.
+        """
+        parts_u: list[np.ndarray] = []
+        parts_l: list[np.ndarray] = []
+        for i, cols in enumerate(self.proof_cols):
+            if cols is not None:
+                parts_u.append(cols[0])
+                parts_l.append(cols[1])
+                continue
+            record = self.records[i]
+            if record is None:
+                continue
+            proof = record[1]
+            parts_u.append(np.fromiter(
+                (u for u, __ in proof), dtype=np.int64, count=len(proof)
+            ))
+            parts_l.append(np.fromiter(
+                (lay for __, lay in proof), dtype=np.int64, count=len(proof)
+            ))
+        if not parts_u:
+            return _EMPTY, _EMPTY, _EMPTY
+        pu = np.concatenate(parts_u)
+        pl = np.concatenate(parts_l)
+        # Layers are tiny non-negative ints, so one encoded int64 key
+        # sorts (vertex, layer) in a single in-place pass — same
+        # grouping a two-key lexsort would give, at half the cost.
+        assert int(pl.min()) >= 0
+        span = int(pl.max()) + 1
+        enc = pu * span + pl
+        enc.sort()
+        first = np.empty(len(enc), dtype=bool)
+        first[0] = True
+        keys = enc // span
+        np.not_equal(keys[1:], keys[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        return (
+            keys[starts], enc[starts] - keys[starts] * span,
+            np.diff(np.append(starts, len(enc))),
+        )
+
+    def _build_local(self) -> dict:
+        """First-play construction of the incremental local CSR.
+
+        The universe (sorted global ids, compacted to ranks) starts as
+        owned ids ∪ owned targets ∪ every root ∪ current ghosts and
+        their targets, and afterwards only ever *grows*
+        (:meth:`_advance_local` splices installed ghost rows in and
+        zeroes evicted ones) — evicted ids linger as unheld fringe.
+        That makes every play's universe a superset of the one the
+        per-sub-round rebuild would produce, which is exact by the same
+        argument as compaction itself: the remap global→local stays
+        monotone, every engine tie-break is order-based, unheld rows
+        read as empty, and unreachable empty rows are never read.  Only
+        discarded games pay re-simulation; the held set never pays
+        re-layout.
+        """
+        shard = self.shard
+        g_ids, g_lens, g_targets = shard._ghost_slab()
+        parts = [shard.row_ids, shard.row_targets, self.roots,
+                 g_ids, g_targets]
+        universe = _sorted_unique(
+            np.concatenate([p for p in parts if len(p)])
+        )
+        u_count = len(universe)
+        held = shard.held_mask(universe, g_ids)
+        own_pos = np.searchsorted(universe, shard.row_ids)
+        own_counts = np.diff(shard.row_offsets)
+        ghost_pos = np.searchsorted(universe, g_ids)
+        deg_held = np.zeros(u_count, dtype=np.int64)
+        deg_held[own_pos] = own_counts
+        deg_held[ghost_pos] = g_lens
+        offsets_l = np.zeros(u_count + 1, dtype=np.int64)
+        np.cumsum(deg_held, out=offsets_l[1:])
+        targets_l = np.empty(int(offsets_l[-1]), dtype=np.int64)
+        targets_l[_segment_indices(offsets_l[own_pos], own_counts)] = (
+            np.searchsorted(universe, shard.row_targets)
+        )
+        targets_l[_segment_indices(offsets_l[ghost_pos], g_lens)] = (
+            np.searchsorted(universe, g_targets)
+        )
+        shard._log_added.clear()
+        shard._log_removed.clear()
+        return {
+            "universe": universe,
+            "held": held,
+            "deg": deg_held,
+            "offsets": offsets_l,
+            "targets": targets_l,
+            "roots_l": np.searchsorted(universe, self.roots),
+            "own_pos": own_pos,
+        }
+
+    def _advance_local(self) -> None:
+        """Splice the ghost delta since the last play into the local
+        CSR: newly installed rows are appended (their fresh ids merged
+        into the universe under a monotone remap), evicted rows zeroed
+        — instead of recompacting the whole held set every sub-round.
+        """
+        shard = self.shard
+        loc = self._local
+        added = shard._log_added
+        removed = shard._log_removed
+        shard._log_added = []
+        shard._log_removed = []
+        if not added and not removed:
+            return
+        t0 = time.perf_counter()
+        universe = loc["universe"]
+        held = loc["held"]
+        deg = loc["deg"]
+        targets_l = loc["targets"]
+        if added:
+            a_ids = np.concatenate([a[0] for a in added])
+            a_lens = np.concatenate([a[1] for a in added])
+            a_tgts = np.concatenate([a[2] for a in added])
+            cand = _sorted_unique(np.concatenate([a_ids, a_tgts]))
+            fresh = cand[~_in_sorted(cand, universe)]
+        else:
+            a_ids = a_lens = a_tgts = fresh = _EMPTY
+        if fresh.size:
+            old2new = (
+                np.arange(len(universe), dtype=np.int64)
+                + np.searchsorted(fresh, universe)
+            )
+            fresh_pos = (
+                np.searchsorted(universe, fresh)
+                + np.arange(len(fresh), dtype=np.int64)
+            )
+            u2 = np.empty(len(universe) + len(fresh), dtype=np.int64)
+            u2[old2new] = universe
+            u2[fresh_pos] = fresh
+            held2 = np.empty(len(u2), dtype=bool)
+            held2[old2new] = held
+            held2[fresh_pos] = (
+                owner_of(fresh, shard.num_shards) == shard.sid
+            )
+            deg2 = np.zeros(len(u2), dtype=np.int64)
+            deg2[old2new] = deg
+            targets_l = old2new[targets_l]
+            loc["roots_l"] = old2new[loc["roots_l"]]
+            loc["own_pos"] = old2new[loc["own_pos"]]
+            universe, held, deg = u2, held2, deg2
+        old_offsets = loc["offsets"]
+        old_deg = loc["deg"]
+        keep_old = old_deg > 0
+        if removed:
+            rm = _sorted_unique(np.concatenate(removed))
+            if rm.size:
+                pos_rm_old = np.searchsorted(loc["universe"], rm)
+                keep_old[pos_rm_old] = False
+                pos_rm = np.searchsorted(universe, rm)
+                held[pos_rm] = False
+                deg[pos_rm] = 0
+        if a_ids.size:
+            pos_a = np.searchsorted(universe, a_ids)
+            held[pos_a] = True
+            deg[pos_a] = a_lens
+        offsets2 = np.zeros(len(universe) + 1, dtype=np.int64)
+        np.cumsum(deg, out=offsets2[1:])
+        targets2 = np.empty(int(offsets2[-1]), dtype=np.int64)
+        src_rows = np.flatnonzero(keep_old)
+        if src_rows.size:
+            counts = old_deg[src_rows]
+            dst_rows = (
+                np.searchsorted(fresh, loc["universe"][src_rows]) + src_rows
+                if fresh.size else src_rows
+            )
+            targets2[_segment_indices(offsets2[dst_rows], counts)] = (
+                targets_l[_segment_indices(old_offsets[src_rows], counts)]
+            )
+        if a_ids.size:
+            targets2[_segment_indices(offsets2[pos_a], a_lens)] = (
+                np.searchsorted(universe, a_tgts)
+            )
+        loc["universe"] = universe
+        loc["held"] = held
+        loc["deg"] = deg
+        loc["offsets"] = offsets2
+        loc["targets"] = targets2
+        self.compact_s += time.perf_counter() - t0
 
     def _play_batched(self, params: dict, config) -> None:
         from repro.core.batched_games import play_games_batched
@@ -678,36 +1163,17 @@ class _ShardRound:
         shard = self.shard
         need = self.pending()
         roots_g = self.roots[need]
-        ghost_ids = shard.ghost_ids()
-        ghost_rows = [shard.ghosts[v] for v in ghost_ids.tolist()]
-        parts = [shard.row_ids, shard.row_targets, roots_g, ghost_ids]
-        parts.extend(ghost_rows)
-        universe = _sorted_unique(
-            np.concatenate([p for p in parts if len(p)])
-        )
+        if self._local is None:
+            t0 = time.perf_counter()
+            self._local = self._build_local()
+            self.compact_s += time.perf_counter() - t0
+        else:
+            self._advance_local()
+        loc = self._local
+        universe = loc["universe"]
         u_count = len(universe)
-        held = shard.held_mask(universe, ghost_ids)
-
-        # Held rows, compacted to local ids (global order preserved, so
-        # every order-dependent tie-break is isomorphic to the global run).
-        own_pos = np.searchsorted(universe, shard.row_ids)
-        own_counts = np.diff(shard.row_offsets)
-        ghost_pos = np.searchsorted(universe, ghost_ids)
-        ghost_counts = np.fromiter(
-            (len(r) for r in ghost_rows), dtype=np.int64, count=len(ghost_rows)
-        )
-        deg_held = np.zeros(u_count, dtype=np.int64)
-        deg_held[own_pos] = own_counts
-        deg_held[ghost_pos] = ghost_counts
-        own_tgt = np.searchsorted(universe, shard.row_targets)
-        ghost_tgt = (
-            np.searchsorted(universe, np.concatenate(ghost_rows))
-            if ghost_rows else _EMPTY
-        )
-        held_src = np.concatenate([
-            np.repeat(own_pos, own_counts), np.repeat(ghost_pos, ghost_counts)
-        ]) if u_count else _EMPTY
-        held_tgt = np.concatenate([own_tgt, ghost_tgt])
+        held = loc["held"]
+        deg_held = loc["deg"]
 
         # Fringe vertices (targets of held rows whose own rows are not
         # held) need local rows too.  The two engines want different
@@ -732,30 +1198,35 @@ class _ShardRound:
         #   eject.  Either way the game is detected as invalid through
         #   the held mask over its explored set.
         if self.engine == "compiled":
-            syn_src = syn_tgt = _EMPTY
+            offsets_l = loc["offsets"]
+            targets_l = loc["targets"]
         else:
+            held_tgt = loc["targets"]
+            held_src = np.repeat(
+                np.arange(u_count, dtype=np.int64), deg_held
+            )
             fringe_edge = ~held[held_tgt]
             syn_src = held_tgt[fringe_edge]
             syn_tgt = held_src[fringe_edge]
-        deg = deg_held + np.bincount(
-            syn_src, minlength=u_count
-        ) if syn_src.size else deg_held
-        offsets_l = np.zeros(u_count + 1, dtype=np.int64)
-        np.cumsum(deg, out=offsets_l[1:])
-        targets_l = np.empty(int(offsets_l[-1]), dtype=np.int64)
-        targets_l[_segment_indices(offsets_l[own_pos], own_counts)] = own_tgt
-        targets_l[
-            _segment_indices(offsets_l[ghost_pos], ghost_counts)
-        ] = ghost_tgt
-        if syn_src.size:
-            order = np.lexsort((syn_tgt, syn_src))
-            syn_rows = _sorted_unique(syn_src)
+            deg = (
+                deg_held + np.bincount(syn_src, minlength=u_count)
+                if syn_src.size else deg_held
+            )
+            offsets_l = np.zeros(u_count + 1, dtype=np.int64)
+            np.cumsum(deg, out=offsets_l[1:])
+            targets_l = np.empty(int(offsets_l[-1]), dtype=np.int64)
             targets_l[
-                _segment_indices(
-                    offsets_l[syn_rows],
-                    np.bincount(syn_src, minlength=u_count)[syn_rows],
-                )
-            ] = syn_tgt[order]
+                _segment_indices(offsets_l[:-1], deg_held)
+            ] = held_tgt
+            if syn_src.size:
+                order = np.lexsort((syn_tgt, syn_src))
+                syn_rows = _sorted_unique(syn_src)
+                targets_l[
+                    _segment_indices(
+                        offsets_l[syn_rows],
+                        np.bincount(syn_src, minlength=u_count)[syn_rows],
+                    )
+                ] = syn_tgt[order]
 
         shard.guard.account(
             "game_scratch",
@@ -772,7 +1243,7 @@ class _ShardRound:
         else:
             play_cohort = play_games_batched
             transpose = csr_transpose_positions(offsets_l, targets_l)
-        roots_l = np.searchsorted(universe, roots_g)
+        roots_l = loc["roots_l"][need]
         out_layer = np.full(u_count, _INF)
         out_count = np.zeros(u_count, dtype=np.int64)
         k = len(roots_l)
@@ -815,7 +1286,8 @@ class _ShardRound:
             proof_ends = np.cumsum(proof_counts)
             mem_g = universe[mem_f]
             pu_g = universe[pu_f]
-            pl_list = pl_f.tolist()
+            pl_g = np.asarray(pl_f, dtype=np.int64)
+            pl_list = pl_g.tolist() if self.want_records else None
             bad = ~held[mem_f]
             bad_cum = np.zeros(len(bad) + 1, dtype=np.int64)
             np.cumsum(bad, out=bad_cum[1:])
@@ -832,20 +1304,28 @@ class _ShardRound:
                     continue  # replayed exactly below, on real held rows
                 i = need_list[start + jj]
                 if bad_cum[me] != bad_cum[mo]:
+                    # Unsorted is fine: missing sets only ever feed
+                    # missing_union / pinned_ghosts, which sort-unique
+                    # their concatenation anyway.
                     seg = mem_g[mo:me]
-                    self.missing[i] = set(seg[bad[mo:me]].tolist())
+                    self.missing[i] = seg[bad[mo:me]]
                 else:
                     r = int(reads[start + jj])
                     w = int(writes[start + jj])
-                    proof_g = list(zip(pu_g[po:pe].tolist(), pl_list[po:pe]))
+                    rec = None
+                    if self.want_records:
+                        proof_g = list(
+                            zip(pu_g[po:pe].tolist(), pl_list[po:pe])
+                        )
+                        rec = (mem_g[mo:me].tolist(), proof_g, r, w)
                     # Real words of the held ball: one degree word plus
                     # the row targets per explored vertex — identically
                     # the game's probe charge, so strict-budget parity
                     # is checked against what a shard genuinely held.
                     ball = (me - mo) + int(ball_cum[me] - ball_cum[mo])
                     self._commit(
-                        i, r, w, (mem_g[mo:me].tolist(), proof_g, r, w),
-                        ball, False,
+                        i, r, w, rec, ball, False,
+                        proof_cols=(pu_g[po:pe], pl_g[po:pe]),
                     )
                 mo, po = me, pe
         if ejected:
@@ -858,23 +1338,31 @@ class _ShardRound:
                 explored_l = np.asarray(record[0], dtype=np.int64)
                 miss = explored_l[~held[explored_l]]
                 if miss.size:
-                    self.missing[i] = set(universe[miss].tolist())
+                    # Unsorted is fine (see the raw path above).
+                    self.missing[i] = universe[miss]
                     continue
                 explored_g = universe[explored_l]
                 proof = record[1]
-                proof_u = universe[np.fromiter(
+                pu_arr = universe[np.fromiter(
                     (u for u, __ in proof), dtype=np.int64, count=len(proof)
-                )].tolist()
-                proof_g = [
-                    (v, lay) for v, (__, lay) in zip(proof_u, proof)
-                ]
+                )]
+                pl_arr = np.fromiter(
+                    (lay for __, lay in proof), dtype=np.int64,
+                    count=len(proof),
+                )
+                rec = None
+                if self.want_records:
+                    proof_g = [
+                        (v, lay)
+                        for v, (__, lay) in zip(pu_arr.tolist(), proof)
+                    ]
+                    rec = (explored_g.tolist(), proof_g,
+                           int(reads[j]), int(writes[j]))
                 # Real words of the held ball (see the raw path above).
                 ball = len(explored_l) + int(deg_held[explored_l].sum())
                 self._commit(
-                    i, int(reads[j]), int(writes[j]),
-                    (explored_g.tolist(), proof_g,
-                     int(reads[j]), int(writes[j])),
-                    ball, False,
+                    i, int(reads[j]), int(writes[j]), rec, ball, False,
+                    proof_cols=(pu_arr, pl_arr),
                 )
 
         # Ejected games replay through the scalar interpreter — but on
@@ -903,7 +1391,9 @@ class _ShardRound:
                     scratch_layer, scratch_count, True,
                 )
                 if adj.missing:
-                    self.missing[i] = adj.missing
+                    self.missing[i] = _sorted_unique(np.fromiter(
+                        adj.missing, dtype=np.int64, count=len(adj.missing)
+                    ))
                     continue
                 ball = len(record[0]) + sum(len(adj[u]) for u in record[0])
                 self._commit(i, r, w, record, ball, True)
@@ -929,7 +1419,9 @@ class _ShardRound:
                 out_layer, out_count, True,
             )
             if adj.missing:
-                self.missing[i] = adj.missing
+                self.missing[i] = _sorted_unique(np.fromiter(
+                    adj.missing, dtype=np.int64, count=len(adj.missing)
+                ))
                 continue
             ball = len(record[0]) + sum(len(adj[u]) for u in record[0])
             self._commit(i, reads, writes, record, ball, False)
@@ -966,7 +1458,7 @@ class _GhostAdjacency:
                     shard.row_offsets[i]:shard.row_offsets[i + 1]
                 ].tolist()
             else:
-                ghost = shard.ghosts.get(v)
+                ghost = shard.ghost_row(v)
                 if ghost is not None:
                     row = ghost.tolist()
                 elif owner_of_one(v, shard.num_shards) == shard.sid:
@@ -1003,12 +1495,11 @@ def _expand_ball(
     """
     if radius <= 0 or max_words == 0:
         return _EMPTY
-    ball = set(miss.tolist())
-    ghosts = shard.ghosts
     sid = shard.sid
     num_shards = shard.num_shards
+    ball = miss
     frontier = miss
-    out: list[int] = []
+    out: list[np.ndarray] = []
     words = 0
     for __ in range(radius):
         live = frontier[deg[frontier] > 0]
@@ -1017,35 +1508,37 @@ def _expand_ball(
         nxt = _sorted_unique(
             targets[_segment_indices(offsets[live], deg[live])]
         )
-        owners_n = owner_of(nxt, num_shards)
-        fresh: list[int] = []
-        for u, o in zip(nxt.tolist(), owners_n.tolist()):
-            if u in ball:
-                continue
-            # Rows the requester already holds are waypoints, not
-            # cargo: they join the frontier (the true ball runs
-            # straight through them — with p shards an owner-hash
-            # scatters 1/p of every layer into the requester) but
-            # are never re-shipped.
-            ball.add(u)
-            fresh.append(u)
-            if o == sid or u in ghosts:
-                continue
+        fresh = nxt[~_in_sorted(nxt, ball)]
+        if not fresh.size:
+            break
+        ball = _sorted_unique(np.concatenate([ball, fresh]))
+        # Rows the requester already holds are waypoints, not cargo:
+        # they join the frontier (the true ball runs straight through
+        # them — with p shards an owner-hash scatters 1/p of every
+        # layer into the requester) but are never re-shipped.
+        cargo = fresh[
+            (owner_of(fresh, num_shards) != sid)
+            & ~_in_sorted(fresh, shard.ghost_ids)
+        ]
+        if cargo.size:
             # Budget charge per speculative row: its ghost words
             # (2 + deg) plus the scratch the next play's compacted
             # universe spends on it — ~4 words per universe slot
             # (the row itself and up to deg fringe targets) and 2
             # per target — so a row costs ~6 + 7*deg of headroom,
             # not just its payload.
-            w = 6 + 7 * int(deg[u])
-            if max_words is not None and words + w > max_words:
-                return np.asarray(sorted(out), dtype=np.int64)
-            words += w
-            out.append(u)
-        if not fresh:
-            break
-        frontier = np.asarray(fresh, dtype=np.int64)
-    return np.asarray(sorted(out), dtype=np.int64)
+            w_cum = words + np.cumsum(6 + 7 * deg[cargo])
+            if max_words is not None:
+                cut = int(np.searchsorted(w_cum, max_words, side="right"))
+                if cut < len(cargo):
+                    out.append(cargo[:cut])
+                    break
+            words = int(w_cum[-1])
+            out.append(cargo)
+        frontier = fresh
+    if not out:
+        return _EMPTY
+    return np.sort(np.concatenate(out))
 
 
 class _MinScratch(dict):
@@ -1062,20 +1555,22 @@ class _CountScratch(dict):
         return 0
 
 
-def _rows_stamp(rows: list[tuple[int, np.ndarray]]) -> int | None:
-    """Checksum a row-resolution payload for in-process delivery.
+def _rows_stamp(
+    ids: np.ndarray, lens: np.ndarray, targets: np.ndarray
+) -> int | None:
+    """Checksum a row-resolution slab for in-process delivery.
 
-    In-process, :meth:`_Shard.install_ghosts` receives the very objects
+    In-process, :meth:`_Shard.install_ghosts` receives the very arrays
     the serving side would digest, so a self-stamped checksum can never
     detect corruption — the parameter exists as the integrity contract
-    a future socket/MPI transport attaches to each row message.  Stamp
+    a future socket/MPI transport attaches to each row slab.  Stamp
     (and thereby verify) only under an active fault plan, so the chaos
     tier keeps the verify path exercised while fault-free deliveries —
     including the serial path — skip the double digest.
     """
     if faults.active_plan() is None:
         return None
-    return faults.rows_checksum(rows)
+    return faults.rows_checksum(ids, lens, targets)
 
 
 def run_shard_chain(
@@ -1095,6 +1590,10 @@ def run_shard_chain(
     engine: str,
     config,
     budget_words: int | None = None,
+    ghost_cache_words: int = 0,
+    cache_ids: np.ndarray | None = None,
+    cache_rounds: np.ndarray | None = None,
+    fault=None,
 ) -> dict:
     """One shard's complete BSP round, self-served from the global CSR.
 
@@ -1116,9 +1615,21 @@ def run_shard_chain(
     (overlapped with the other shards' play) and adopts the guard
     numbers, so comm counters and ``max_held_words`` are bit-identical
     to the serial fabric for every (engine, shards, workers) combination.
+    The cross-round ghost cache rides the same purity argument:
+    ``(cache_ids, cache_rounds)`` name verbatim rows of the shared CSR
+    (invalidation rule 1), so the worker reconstructs the cached ghosts
+    exactly as the serial shard holds them — and returns the surviving
+    cache the same way for the driver to mirror.
+
+    ``fault`` is an optional injected :class:`repro.ampc.faults.Fault`
+    of kind ``"slab"``: the first row slab is corrupted *after* the
+    serving side stamps its checksum, so :meth:`_Shard.install_ghosts`
+    must reject it (a retriable worker loss) before any ghost mutates.
     """
     t0 = time.perf_counter()
-    shard = _Shard(sid, num_shards, budget_words)
+    shard = _Shard(
+        sid, num_shards, budget_words, cache_words=ghost_cache_words
+    )
     deg = np.diff(offsets)
     sources = np.flatnonzero(deg > 0)
     sources = sources[owner_of(sources, num_shards) == sid]
@@ -1129,14 +1640,26 @@ def run_shard_chain(
         sources, row_offsets,
         targets[_segment_indices(offsets[sources], counts)],
     )
+    if cache_ids is not None and len(cache_ids) and shard.cache_words > 0:
+        # Accounted before begin_round, exactly like the serial fabric
+        # where the cache was charged at the previous finish_round and
+        # is already held when the new round's peak tracking starts.
+        shard.seed_cache(
+            np.asarray(cache_ids, dtype=np.int64),
+            np.asarray(cache_rounds, dtype=np.int64),
+            offsets, targets,
+        )
     shard.guard.begin_round()
-    run = _ShardRound(shard, roots, positions, engine)
-    run.seed_missing(num_shards)
+    run = _ShardRound(shard, roots, positions, engine, want_records)
+    cache_hits = run.seed_missing(num_shards)
     params = {
         "x": x, "beta": beta, "clip": clip, "horizon": horizon,
         "scale": scale,
     }
     trace: list[tuple[np.ndarray, np.ndarray]] = []
+    serve_s = 0.0
+    install_s = 0.0
+    fault_armed = fault is not None and fault.kind == "slab"
     sub_round = 0
     played = False
     while True:
@@ -1153,24 +1676,40 @@ def run_shard_chain(
             extra = _expand_ball(
                 offsets, targets, deg, miss, radius, shard, spec_cap
             )
-            wanted = np.concatenate([miss, extra]) if extra.size else miss
-            rows = [
-                (v, targets[offsets[v]:offsets[v + 1]].copy())
-                for v in wanted.tolist()
-            ]
-            shard.install_ghosts(rows, checksum=_rows_stamp(rows))
-            run.attribute_expansions(set(extra.tolist()))
-        shard.evict_ghosts(run.pinned_ghosts())
+            wanted = (
+                np.sort(np.concatenate([miss, extra]))
+                if extra.size else miss
+            )
+            ts = time.perf_counter()
+            lens = deg[wanted]
+            slab = targets[_segment_indices(offsets[wanted], lens)]
+            stamp = _rows_stamp(wanted, lens, slab)
+            serve_s += time.perf_counter() - ts
+            if fault_armed:
+                fault_armed = False
+                if stamp is None:
+                    stamp = faults.rows_checksum(wanted, lens, slab)
+                if slab.size:
+                    slab = slab.copy()
+                    slab[0] ^= 1
+                else:
+                    wanted = wanted.copy()
+                    wanted[0] ^= 1
+            ts = time.perf_counter()
+            shard.install_ghosts(wanted, lens, slab, checksum=stamp)
+            install_s += time.perf_counter() - ts
+            run.attribute_expansions(extra)
+        # Same budget-only mid-round eviction rule as the serial loop
+        # (see MessageFabric.run_round) — the schedules must match
+        # wave for wave or the end-of-round cache would diverge.
+        if budget_words is not None and run.pending().size:
+            shard.evict_ghosts(run.pinned_ghosts())
         if run.pending().size:
             run.play(params, config)
         played = True
         trace.append((miss, extra))
-    proof_u: list[int] = []
-    proof_l: list[int] = []
-    for record in run.records:
-        for u, lay in record[1]:
-            proof_u.append(u)
-            proof_l.append(lay)
+    cache_evicted = shard.finish_round()
+    proof_u, proof_l, proof_c = run.proof_columns()
     return {
         "reads": run.reads,
         "writes": run.writes,
@@ -1178,11 +1717,21 @@ def run_shard_chain(
         "replay_stats": run.replay_stats or None,
         "ejected_games": run.ejected_games,
         "ball_max": int(run.ball_words.max()) if run.ball_words.size else 0,
-        "proof_u": np.asarray(proof_u, dtype=np.int64),
-        "proof_l": np.asarray(proof_l, dtype=np.int64),
+        "proof_u": proof_u,
+        "proof_l": proof_l,
+        "proof_c": proof_c,
         "trace": trace,
         "guard_peak": shard.guard.round_peak,
         "guard_held": dict(shard.guard._held),
+        "cache_ids": shard.ghost_ids,
+        "cache_rounds": shard.ghost_rounds,
+        "cache_words": shard._cache_words,
+        "cache_hits": cache_hits,
+        "cache_evicted": cache_evicted,
+        "serve_s": serve_s,
+        "install_s": install_s,
+        "compact_s": run.compact_s,
+        "play_s": run.play_s,
         "wall_s": time.perf_counter() - t0,
     }
 
@@ -1205,6 +1754,7 @@ class MessageFabric:
         *,
         budget_words: int | None = None,
         cap_words: int | None = None,
+        cache_words: int = 0,
     ) -> None:
         num_shards = int(num_shards)
         if num_shards < 1:
@@ -1214,8 +1764,13 @@ class MessageFabric:
         self.cap_words = int(cap_words) if cap_words else MESSAGE_CAP_WORDS
         if self.cap_words < 4:
             raise ValueError("cap_words must be >= 4 (one row header)")
+        cache_words = int(cache_words)
+        if cache_words < 0:
+            raise ValueError("cache_words must be >= 0 (0 disables)")
+        self.cache_words = cache_words
         self.shards = [
-            _Shard(sid, num_shards, budget_words) for sid in range(num_shards)
+            _Shard(sid, num_shards, budget_words, cache_words=cache_words)
+            for sid in range(num_shards)
         ]
         self.placed = False
         self.peak_held_words = 0
@@ -1228,7 +1783,10 @@ class MessageFabric:
         "messages", "words", "subrounds", "row_requests", "rows_served",
         "placement_words", "retirement_words", "fold_words", "result_words",
         "max_shard_words", "max_game_ball_words", "max_held_words",
-        "ejected_games", "shard_wall_s", "comm_overlap_s",
+        "ejected_games", "ghost_cache_hits", "ghost_cache_evicted",
+        "ghost_cache_held_words",
+        "shard_wall_s", "comm_overlap_s",
+        "serve_s", "install_s", "compact_s", "play_s",
     )
 
     def _init_comm(self, comm: dict) -> dict:
@@ -1255,16 +1813,29 @@ class MessageFabric:
         if dst is not None:
             shard_words[dst] += words
 
-    def _row_segments(self, row_words: list[int]) -> int:
-        """Delivery segments for rows packed greedily at the cap."""
-        segments, used = 0, 0
-        for w in row_words:
-            if segments and used + w <= self.cap_words:
-                used += w
-            else:
-                segments += 1
-                used = w
-        return max(1, segments)
+    def _row_segments(self, row_words: np.ndarray) -> int:
+        """Delivery segments for rows packed greedily at the cap.
+
+        Same greedy as packing one row at a time — each segment is the
+        maximal prefix of remaining rows whose words fit the cap, and an
+        oversized row ships whole in its own segment — but computed per
+        segment on the running cumulative sum instead of per row.
+        """
+        row_words = np.asarray(row_words, dtype=np.int64)
+        if not row_words.size:
+            return 1
+        cum = np.cumsum(row_words)
+        n = len(cum)
+        cap = self.cap_words
+        segments, idx, base = 0, 0, 0
+        while idx < n:
+            j = int(np.searchsorted(cum, base + cap, side="right"))
+            if j <= idx:
+                j = idx + 1  # oversized row: ships whole
+            segments += 1
+            base = int(cum[j - 1])
+            idx = j
+        return segments
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -1344,9 +1915,11 @@ class MessageFabric:
             config = EngineConfig.from_env()
         comm = self._init_comm({} if comm is None else comm)
         shard_words = [0] * self.num_shards
+        # Ghosts are resolved at the *end* of a round (finish_round:
+        # cached survivors stay, the rest drop), so a round starts with
+        # each shard holding exactly owned rows + cross-round cache.
         for shard in self.shards:
             shard.guard.begin_round()
-            shard.clear_ghosts()
         if not self.placed:
             self._distribute(offsets, targets, comm, shard_words)
 
@@ -1366,7 +1939,9 @@ class MessageFabric:
             if sel.size:
                 self._send(comm, shard_words, 2 * sel.size, dst=sid)
             runs.append(
-                _ShardRound(shard, roots[sel], positions[sel], engine)
+                _ShardRound(
+                    shard, roots[sel], positions[sel], engine, want_records
+                )
             )
 
         # BSP sub-rounds: exchange missing rows, play, validate, repeat.
@@ -1375,7 +1950,7 @@ class MessageFabric:
         # discovery wave never happens.
         deg_global = np.diff(offsets)
         for run in runs:
-            run.seed_missing(self.num_shards)
+            comm["ghost_cache_hits"] += run.seed_missing(self.num_shards)
         sub_round = 0
         played = False
         while True:
@@ -1425,30 +2000,49 @@ class MessageFabric:
                     owner = self.shards[dst]
                     self._send(comm, shard_words, len(ids), src=sid, dst=dst)
                     comm["row_requests"] += len(ids)
-                    rows = owner.serve_rows(ids)
-                    row_words = [2 + len(row) for __, row in rows]
+                    ts = time.perf_counter()
+                    s_ids, s_lens, s_tgts = owner.serve_rows(ids)
+                    stamp = _rows_stamp(s_ids, s_lens, s_tgts)
+                    comm["serve_s"] += time.perf_counter() - ts
                     self._send(
-                        comm, shard_words, sum(row_words), src=dst, dst=sid,
-                        messages=self._row_segments(row_words),
+                        comm, shard_words, 2 * len(s_ids) + len(s_tgts),
+                        src=dst, dst=sid,
+                        messages=self._row_segments(2 + s_lens),
                     )
-                    comm["rows_served"] += len(rows)
-                    shard.install_ghosts(rows, checksum=_rows_stamp(rows))
-                runs[sid].attribute_expansions(set(extra.tolist()))
+                    comm["rows_served"] += len(s_ids)
+                    ts = time.perf_counter()
+                    shard.install_ghosts(
+                        s_ids, s_lens, s_tgts, checksum=stamp
+                    )
+                    comm["install_s"] += time.perf_counter() - ts
+                runs[sid].attribute_expansions(extra)
             for run in runs:
-                run.shard.evict_ghosts(run.pinned_ghosts())
+                # Mid-round eviction is S-budget discipline, and only
+                # budgeted shards need it: an unbudgeted shard keeps its
+                # whole fringe until finish_round, because evicting rows
+                # whose fetching games committed just makes the pending
+                # tail re-request them a wave later (evict/refetch
+                # thrash), and the cache retention pass prunes the
+                # fringe at the round boundary anyway.  Per-shard pure,
+                # like the worker chain: a shard whose games all
+                # committed has left its BSP loop and evicts no further
+                # — its last exchange rides to finish_round.
+                if (run.shard.guard.budget_words is not None
+                        and run.pending().size):
+                    run.shard.evict_ghosts(run.pinned_ghosts())
             for run in runs:
                 if run.pending().size:
                     run.play(params, config)
             played = True
 
+        for run in runs:
+            comm["ghost_cache_evicted"] += run.shard.finish_round()
+            comm["compact_s"] += run.compact_s
+            comm["play_s"] += run.play_s
+
         per_shard = []
         for run in runs:
-            proof_u: list[int] = []
-            proof_l: list[int] = []
-            for record in run.records:
-                for u, lay in record[1]:
-                    proof_u.append(u)
-                    proof_l.append(lay)
+            proof_u, proof_l, proof_c = run.proof_columns()
             per_shard.append({
                 "positions": run.positions,
                 "roots": run.roots,
@@ -1460,8 +2054,9 @@ class MessageFabric:
                 "ball_max": (
                     int(run.ball_words.max()) if run.ball_words.size else 0
                 ),
-                "proof_u": np.asarray(proof_u, dtype=np.int64),
-                "proof_l": np.asarray(proof_l, dtype=np.int64),
+                "proof_u": proof_u,
+                "proof_l": proof_l,
+                "proof_c": proof_c,
             })
         return self._fold_and_results(
             comm, shard_words, want_records, per_shard
@@ -1496,11 +2091,16 @@ class MessageFabric:
             pos_by.append(positions[sel])
             if sel.size:
                 self._send(comm, shard_words, 2 * sel.size, dst=sid)
-                jobs.append((sid, roots[sel], positions[sel]))
+                shard = self.shards[sid]
+                jobs.append((
+                    sid, roots[sel], positions[sel],
+                    shard.ghost_ids, shard.ghost_rounds,
+                ))
         payload = dict(params)
         payload.update(
             num_shards=num, want_records=want_records, engine=engine,
             config=config, budget_words=self.budget_words,
+            ghost_cache_words=self.cache_words,
         )
         shard_res: list[dict | None] = [None] * num
         miss_sizes: list[list[int]] = [[] for __ in range(num)]
@@ -1513,6 +2113,9 @@ class MessageFabric:
             self.shards[sid].guard.adopt(
                 res["guard_peak"], res["guard_held"]
             )
+            # Replay the worker's request trace slab-at-a-time for the
+            # counters; row payload words come from the driver's own
+            # identical CSR slices via served_words, never re-gathered.
             for miss, extra in res["trace"]:
                 miss_sizes[sid].append(int(miss.size))
                 if not miss.size:
@@ -1527,14 +2130,35 @@ class MessageFabric:
                     comm["row_requests"] += len(ids)
                     row_words = self.shards[dst].served_words(ids)
                     self._send(
-                        comm, shard_words, sum(row_words), src=dst, dst=sid,
+                        comm, shard_words, int(row_words.sum()),
+                        src=dst, dst=sid,
                         messages=self._row_segments(row_words),
                     )
                     comm["rows_served"] += len(row_words)
+            # The surviving cache mirrors onto the driver shard without
+            # touching its guard — the adopt above already carried the
+            # worker's end-of-round ghost accounting over verbatim.
+            self.shards[sid].mirror_cache(
+                res["cache_ids"], res["cache_rounds"], offsets, targets
+            )
+            comm["ghost_cache_hits"] += res["cache_hits"]
+            comm["ghost_cache_evicted"] += res["cache_evicted"]
+            comm["serve_s"] += res["serve_s"]
+            comm["install_s"] += res["install_s"]
+            comm["compact_s"] += res["compact_s"]
+            comm["play_s"] += res["play_s"]
             if others_running:
                 state["overlap"] += time.perf_counter() - t0
 
         pool.run_fabric_round(offsets, targets, jobs, payload, on_result)
+
+        # Shards with no games this round never reach a worker; their
+        # round boundary (cache aging + retention) runs driver-side, as
+        # the serial loop would have.
+        dispatched_now = {job[0] for job in jobs}
+        for sid in range(num):
+            if sid not in dispatched_now:
+                comm["ghost_cache_evicted"] += self.shards[sid].finish_round()
 
         # Lockstep sub-round k spans every shard's k-th exchange; the
         # global counter ticks whenever any shard requested rows then —
@@ -1568,6 +2192,7 @@ class MessageFabric:
                     "records": [], "replay_stats": None,
                     "ejected_games": 0, "ball_max": 0,
                     "proof_u": _EMPTY, "proof_l": _EMPTY,
+                    "proof_c": _EMPTY,
                 })
                 continue
             per_shard.append({
@@ -1578,6 +2203,7 @@ class MessageFabric:
                 "ejected_games": res["ejected_games"],
                 "ball_max": res["ball_max"],
                 "proof_u": res["proof_u"], "proof_l": res["proof_l"],
+                "proof_c": res["proof_c"],
             })
         return self._fold_and_results(
             comm, shard_words, want_records, per_shard
@@ -1595,9 +2221,11 @@ class MessageFabric:
 
         fold_u: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
         fold_l: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
+        fold_c: list[list[np.ndarray]] = [[] for __ in range(self.num_shards)]
         for sid, sh in enumerate(per_shard):
             pu = sh["proof_u"]
             pl = sh["proof_l"]
+            pc = sh["proof_c"]
             if not pu.size:
                 continue
             owners_p = owner_of(pu, self.num_shards)
@@ -1609,6 +2237,7 @@ class MessageFabric:
                 comm["fold_words"] += 3 * int(sel.sum())
                 fold_u[dst].append(pu[sel])
                 fold_l[dst].append(pl[sel])
+                fold_c[dst].append(pc[sel])
 
         results: list[tuple[np.ndarray, ShardResult]] = []
         max_ball = 0
@@ -1616,11 +2245,21 @@ class MessageFabric:
             if fold_u[sid]:
                 fu = np.concatenate(fold_u[sid])
                 fl = np.concatenate(fold_l[sid])
-                vertices = _sorted_unique(fu)
-                slots = np.searchsorted(vertices, fu)
-                minima = np.full(len(vertices), _INF)
-                np.minimum.at(minima, slots, fl)
-                counts = np.bincount(slots, minlength=len(vertices))
+                fc = np.concatenate(fold_c[sid])
+                # Incoming triples are per-source pre-folded (see
+                # _ShardRound.proof_columns); the owner-side fold is
+                # min-of-mins and sum-of-counts per vertex, grouped by
+                # one (vertex, layer) lexsort.
+                order = np.lexsort((fl, fu))
+                fu = fu[order]
+                fl = fl[order]
+                first = np.empty(len(fu), dtype=bool)
+                first[0] = True
+                np.not_equal(fu[1:], fu[:-1], out=first[1:])
+                starts = np.flatnonzero(first)
+                vertices = fu[starts]
+                minima = fl[starts].astype(np.float64)
+                counts = np.add.reduceat(fc[order], starts)
                 self.shards[sid].guard.account(
                     "fold_accumulators", 3 * len(vertices)
                 )
@@ -1660,6 +2299,10 @@ class MessageFabric:
         )
         comm["max_game_ball_words"] = max(
             comm["max_game_ball_words"], max_ball
+        )
+        comm["ghost_cache_held_words"] = max(
+            comm["ghost_cache_held_words"],
+            sum(shard._cache_words for shard in self.shards),
         )
         round_peak = max(shard.guard.round_peak for shard in self.shards)
         comm["max_held_words"] = max(comm["max_held_words"], round_peak)

@@ -410,12 +410,16 @@ def _fabric_checksum(res: dict) -> int:
     :meth:`~repro.ampc.messaging.MemoryGuard.adopt` — so a corrupted
     payload is rejected *before* any driver state mutates.
     """
-    items = [res["reads"], res["writes"], res["proof_u"], res["proof_l"]]
+    items = [res["reads"], res["writes"], res["proof_u"], res["proof_l"],
+             res["proof_c"]]
     for miss, extra in res["trace"]:
         items.append(miss)
         items.append(extra)
+    items.append(res["cache_ids"])
+    items.append(res["cache_rounds"])
     items.append(np.asarray(
-        [res["ejected_games"], res["ball_max"], res["guard_peak"]],
+        [res["ejected_games"], res["ball_max"], res["guard_peak"],
+         res["cache_words"], res["cache_hits"], res["cache_evicted"]],
         dtype=np.int64,
     ))
     items.append(repr(sorted(res["guard_held"].items())).encode())
@@ -547,6 +551,8 @@ def _play_fabric_shard(
     sid: int,
     roots: np.ndarray,
     positions: np.ndarray,
+    cache_ids: np.ndarray,
+    cache_rounds: np.ndarray,
     payload: dict,
     fault_key: tuple[int, int, int] | None = None,
     plan=None,
@@ -555,9 +561,12 @@ def _play_fabric_shard(
 
     The chain itself lives in :func:`repro.ampc.messaging.run_shard_chain`
     — the worker only attaches the round's shared CSR (cached across the
-    round's shards), stamps the result's integrity checksum, and applies
-    the same fault hooks as :func:`_play_shard`, so the chaos harness
-    exercises both dispatch paths identically.
+    round's shards), reconstructs the shard's cross-round ghost cache
+    from it, stamps the result's integrity checksum, and applies the
+    same fault hooks as :func:`_play_shard`, so the chaos harness
+    exercises both dispatch paths identically.  A ``"slab"`` fault is
+    threaded into the chain itself: it corrupts the first served row
+    slab post-stamp, so the in-chain checksum verify rejects it.
     """
     spec = (
         plan.lookup(*fault_key)
@@ -570,6 +579,8 @@ def _play_fabric_shard(
     with defer_full_gc():
         result = run_shard_chain(
             offsets, targets, sid, roots=roots, positions=positions,
+            cache_ids=cache_ids, cache_rounds=cache_rounds,
+            fault=spec if spec is not None and spec.kind == "slab" else None,
             **payload,
         )
     result["checksum"] = _fabric_checksum(result)
@@ -1119,14 +1130,15 @@ class CoinGamePool:
         self,
         offsets: np.ndarray,
         targets: np.ndarray,
-        jobs: list[tuple[int, np.ndarray, np.ndarray]],
+        jobs: list[tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
         payload: dict,
         on_result,
         config=None,
     ) -> None:
         """Run message-fabric shard chains across the worker fleet.
 
-        ``jobs`` is ``[(sid, roots, positions), …]``; each dispatches
+        ``jobs`` is ``[(sid, roots, positions, cache_ids, cache_rounds),
+        …]``; each dispatches
         one :func:`repro.ampc.messaging.run_shard_chain` against the
         round's shared CSR.  ``on_result(sid, result, others_running)``
         fires in completion order, so the driver replays a finished
@@ -1155,16 +1167,17 @@ class CoinGamePool:
             csr_meta, segments = self._publish_csr(offsets, targets)
 
             def submit(executor, key, fault_key, plan):
-                sid, roots, positions = jobs[key]
+                sid, roots, positions, cache_ids, cache_rounds = jobs[key]
                 return executor.submit(
                     _play_fabric_shard, csr_meta, sid, roots, positions,
-                    payload, fault_key, plan,
+                    cache_ids, cache_rounds, payload, fault_key, plan,
                 )
 
             def inline(key):
-                sid, roots, positions = jobs[key]
+                sid, roots, positions, cache_ids, cache_rounds = jobs[key]
                 return _play_fabric_shard(
-                    csr_meta, sid, roots, positions, payload
+                    csr_meta, sid, roots, positions, cache_ids,
+                    cache_rounds, payload,
                 )
 
             def deliver(key, result, others_running):

@@ -294,6 +294,10 @@ def coloring_two_plus_eps(
                 "init_ampc_rounds": init_ampc_rounds,
                 "recolor_ampc_rounds": recolor_rounds,
                 "partition_mode": outcome.mode,
+                # What actually ran (the compiled kernel silently-but-
+                # warned downgrades to batched), so a recorded benchmark
+                # names the engine behind its numbers.
+                "partition_engine": outcome.engine,
             },
         ),
     )

@@ -327,6 +327,7 @@ def beta_partition_ampc(
             shards if shards is not None else max(2, workers),
             budget_words=shard_budget,
             cap_words=config.message_cap_words,
+            cache_words=config.ghost_cache_words,
         )
     pool = (
         shared_pool(workers)

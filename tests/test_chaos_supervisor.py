@@ -37,7 +37,10 @@ from repro.core.beta_partition_ampc import beta_partition_ampc
 from repro.graphs.generators import random_gnm
 
 # Wall-clock keys excluded from comm-counter equality.
-_TIMING_KEYS = ("shard_wall_s", "comm_overlap_s")
+_TIMING_KEYS = (
+    "shard_wall_s", "comm_overlap_s",
+    "serve_s", "install_s", "compact_s", "play_s",
+)
 
 # Fast, bounded chaos: no backoff sleeps, default retry budget.  The
 # attempts=2 gate on every seeded plan keeps schedules survivable by

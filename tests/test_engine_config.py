@@ -31,6 +31,7 @@ class TestFromEnv:
         assert cfg.replay_poor_streak == batched_games.REPLAY_POOR_STREAK
         assert cfg.message_cap_words == messaging.MESSAGE_CAP_WORDS
         assert cfg.shard_budget_words is None
+        assert cfg.ghost_cache_words == messaging.GHOST_CACHE_WORDS
         assert cfg.max_shard_retries == pool.MAX_SHARD_RETRIES
         assert cfg.retry_backoff_s == pool.RETRY_BACKOFF_S
         assert cfg.pool_deadline_s == pool.POOL_DEADLINE_S
@@ -46,6 +47,7 @@ class TestFromEnv:
             "REPRO_REPLAY_POOR_STREAK": "3",
             "REPRO_MESSAGE_CAP_WORDS": "4096",
             "REPRO_SHARD_BUDGET_WORDS": "123456",
+            "REPRO_GHOST_CACHE_WORDS": "4096",
             "REPRO_MAX_SHARD_RETRIES": "5",
             "REPRO_RETRY_BACKOFF_S": "0.25",
             "REPRO_POOL_DEADLINE_S": "12.5",
@@ -59,6 +61,7 @@ class TestFromEnv:
         assert cfg.replay_poor_streak == 3
         assert cfg.message_cap_words == 4096
         assert cfg.shard_budget_words == 123456
+        assert cfg.ghost_cache_words == 4096
         assert cfg.max_shard_retries == 5
         assert cfg.retry_backoff_s == 0.25
         assert cfg.pool_deadline_s == 12.5
@@ -125,6 +128,14 @@ class TestFromEnv:
         # parse must fail the same way instead of deferring the crash.
         with pytest.raises(ValueError, match="REPRO_MESSAGE_CAP_WORDS"):
             EngineConfig.from_env(env={"REPRO_MESSAGE_CAP_WORDS": "2"})
+
+    def test_ghost_cache_words_allows_zero_rejects_negative(self):
+        # 0 is meaningful (cache disabled), so the knob gets a >= 0
+        # floor instead of the shared positive-int parse.
+        cfg = EngineConfig.from_env(env={"REPRO_GHOST_CACHE_WORDS": "0"})
+        assert cfg.ghost_cache_words == 0
+        with pytest.raises(ValueError, match="REPRO_GHOST_CACHE_WORDS"):
+            EngineConfig.from_env(env={"REPRO_GHOST_CACHE_WORDS": "-1"})
 
     def test_supervisor_knob_validation(self):
         # retries may be 0 (fail fast) but never negative.
@@ -223,6 +234,18 @@ class TestThreading:
             beta_partition_ampc(
                 g, 3, x=4, store="columnar", transport="message", shards=2
             )
+
+    def test_env_ghost_cache_reaches_the_fabric(self, monkeypatch):
+        g = random_gnm(300, 900, seed=23)  # 5 lca rounds at beta=4/x=8
+        kw = dict(x=8, store="columnar", transport="message", shards=3,
+                  min_pool_games=1)
+        monkeypatch.setenv("REPRO_GHOST_CACHE_WORDS", "0")
+        off = beta_partition_ampc(g, 4, **kw)
+        assert all(c["ghost_cache_held_words"] == 0 for c in off.round_comm)
+        monkeypatch.setenv("REPRO_GHOST_CACHE_WORDS", "65536")
+        on = beta_partition_ampc(g, 4, **kw)
+        assert sum(c["ghost_cache_hits"] for c in on.round_comm) > 0
+        assert on.partition.layers == off.partition.layers
 
     def test_explicit_budget_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SHARD_BUDGET_WORDS", "50")

@@ -173,37 +173,55 @@ class TestChecksums:
         b = np.zeros(2, dtype=np.int64)
         assert payload_checksum(a) != payload_checksum(b, b)
 
-    def test_rows_checksum_covers_ids_and_rows(self):
-        rows = [
-            (3, np.array([1, 2], dtype=np.int64)),
-            (9, np.array([], dtype=np.int64)),
-        ]
-        base = rows_checksum(rows)
-        assert rows_checksum(list(rows)) == base
-        assert rows_checksum([(4, rows[0][1]), rows[1]]) != base
-        mutated = [(3, np.array([1, 5], dtype=np.int64)), rows[1]]
-        assert rows_checksum(mutated) != base
+    def test_rows_checksum_covers_every_slab_column(self):
+        ids = np.array([3, 9], dtype=np.int64)
+        lens = np.array([2, 0], dtype=np.int64)
+        tgts = np.array([1, 2], dtype=np.int64)
+        base = rows_checksum(ids, lens, tgts)
+        assert rows_checksum(ids.copy(), lens.copy(), tgts.copy()) == base
+        assert rows_checksum(
+            np.array([4, 9], dtype=np.int64), lens, tgts
+        ) != base
+        assert rows_checksum(
+            ids, np.array([1, 1], dtype=np.int64), tgts
+        ) != base
+        assert rows_checksum(
+            ids, lens, np.array([1, 5], dtype=np.int64)
+        ) != base
 
     def test_install_ghosts_verifies_checksum(self):
         from repro.ampc.messaging import _Shard
 
         shard = _Shard(0, 2, None)
-        rows = [(1, np.array([0], dtype=np.int64))]
+        ids = np.array([1], dtype=np.int64)
+        lens = np.array([1], dtype=np.int64)
+        tgts = np.array([0], dtype=np.int64)
         with pytest.raises(ChecksumError, match="checksum mismatch"):
-            shard.install_ghosts(rows, checksum=rows_checksum(rows) ^ 1)
-        shard.install_ghosts(rows, checksum=rows_checksum(rows))
-        assert 1 in shard.ghosts
+            shard.install_ghosts(
+                ids, lens, tgts,
+                checksum=rows_checksum(ids, lens, tgts) ^ 1,
+            )
+        # The corrupted slab was rejected before any ghost mutated.
+        assert not len(shard.ghost_ids)
+        shard.install_ghosts(
+            ids, lens, tgts, checksum=rows_checksum(ids, lens, tgts)
+        )
+        assert shard.ghost_row(1) is not None
 
     def test_rows_stamp_gated_on_active_plan(self):
-        # In-process delivery digests the very objects the serving side
+        # In-process delivery digests the very arrays the serving side
         # would, so a self-stamp can never detect corruption: the
         # fault-free paths must skip it (it would double the digest cost
         # of every row delivery), while chaos mode keeps the verify path
         # exercised.
         from repro.ampc.messaging import _rows_stamp
 
-        rows = [(1, np.array([0], dtype=np.int64))]
+        ids = np.array([1], dtype=np.int64)
+        lens = np.array([1], dtype=np.int64)
+        tgts = np.array([0], dtype=np.int64)
         with faults.inject(None):
-            assert _rows_stamp(rows) is None
+            assert _rows_stamp(ids, lens, tgts) is None
         with faults.inject(FaultPlan(seed=7, rate=0.5)):
-            assert _rows_stamp(rows) == rows_checksum(rows)
+            assert _rows_stamp(ids, lens, tgts) == rows_checksum(
+                ids, lens, tgts
+            )

@@ -1,0 +1,266 @@
+"""Cross-round ghost cache: retention policy, budget discipline, parity.
+
+The cache is a pure wall-clock optimization riding two invalidation
+rules (see the messaging module docstring): a cached ghost row is a
+verbatim copy of the owner's row — kept equal by applying the owner's
+retirement prune verbatim — and retention at each round boundary is a
+deterministic, seeded function of shard-local state, so the serial
+fabric and the pooled worker chains make identical keep/drop decisions.
+These tests pin the policy at the _Shard level and the end-to-end
+bit-identity contract: toggling the cache (or pooling the shards) may
+change communication volume, never observables.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.ampc import faults
+from repro.ampc.engine_config import EngineConfig
+from repro.ampc.messaging import (
+    _GHOST_CACHE_SEED,
+    MemoryGuard,
+    MemoryGuardError,
+    _mix_ids,
+    _Shard,
+)
+from repro.ampc.pool import close_shared_pools
+from repro.core.beta_partition_ampc import beta_partition_ampc
+from repro.graphs.generators import random_gnm, union_of_random_forests
+
+# Keys whose values are wall-clock measurements, not protocol counts.
+_TIMING_KEYS = (
+    "shard_wall_s", "comm_overlap_s",
+    "serve_s", "install_s", "compact_s", "play_s",
+)
+
+
+def _counts(comm: dict) -> dict:
+    return {k: v for k, v in comm.items() if k not in _TIMING_KEYS}
+
+
+def _slab(rows: dict[int, list[int]]):
+    """One sorted (ids, lens, targets) row-resolution slab."""
+    ids = np.array(sorted(rows), dtype=np.int64)
+    lens = np.array([len(rows[v]) for v in ids.tolist()], dtype=np.int64)
+    targets = (
+        np.concatenate([
+            np.asarray(rows[v], dtype=np.int64) for v in ids.tolist()
+        ])
+        if len(ids) else np.zeros(0, dtype=np.int64)
+    )
+    return ids, lens, targets
+
+
+def _cfg(cache_words: int) -> EngineConfig:
+    return EngineConfig.from_env().with_overrides(
+        ghost_cache_words=cache_words
+    )
+
+
+def _multi_round_graph():
+    # beta=4 / x=8 drives this graph through 5 lca rounds, so rounds
+    # >= 2 genuinely exercise cross-round retention (a single-round run
+    # can never hit the cache).
+    return random_gnm(300, 900, seed=23)
+
+
+def _partition(g, *, engine, workers=1, shards=3, cache_words, **kw):
+    return beta_partition_ampc(
+        g, 4, x=8, store="columnar", engine=engine, workers=workers,
+        transport="message", shards=shards, min_pool_games=1,
+        config=_cfg(cache_words), **kw
+    )
+
+
+@pytest.fixture
+def fresh_pool_env():
+    close_shared_pools()
+    yield
+    close_shared_pools()
+    assert faults._ACTIVE_SET is False
+    assert multiprocessing.active_children() == []
+
+
+class TestRetentionPolicy:
+    _ROWS = {v: list(range(v, v + (v % 3) + 1)) for v in range(4, 60, 4)}
+
+    def _fringe_shard(self, cache_words: int) -> _Shard:
+        shard = _Shard(0, 4, None, cache_words=cache_words)
+        shard.install_ghosts(*_slab(self._ROWS))
+        return shard
+
+    def test_retention_is_deterministic_and_matches_documented_rule(self):
+        a = self._fringe_shard(cache_words=24)
+        b = self._fringe_shard(cache_words=24)
+        assert a.finish_round() == b.finish_round()
+        assert np.array_equal(a.ghost_ids, b.ghost_ids)
+        for v in a.ghost_ids.tolist():
+            assert np.array_equal(a.ghost_row(v), b.ghost_row(v))
+        # Survivors are exactly the documented priority prefix: residency
+        # ascending, splitmix64(id ^ seed) tie-break, cumulative 1+len
+        # words within the cache budget.
+        ids, lens, _ = _slab(self._ROWS)
+        prio = np.lexsort((
+            _mix_ids(ids, _GHOST_CACHE_SEED),
+            np.zeros(len(ids), dtype=np.int64),
+        ))
+        cum = np.cumsum(1 + lens[prio])
+        keep = np.sort(prio[: int(np.searchsorted(cum, 24, side="right"))])
+        assert np.array_equal(a.ghost_ids, ids[keep])
+        # Survivors aged one residency round and moved to the cache tag.
+        assert (a.ghost_rounds == 1).all()
+        assert a._fringe_words == 0
+        assert a._cache_words == int((1 + lens[keep]).sum())
+
+    def test_fresh_fringe_outranks_aged_cache(self):
+        shard = _Shard(0, 4, None, cache_words=6)
+        shard.install_ghosts(*_slab({10: [1], 20: [2]}))
+        assert shard.finish_round() == 0  # 4 words fit the 6-word budget
+        shard.install_ghosts(*_slab({30: [3], 40: [4]}))
+        assert shard.finish_round() == 1  # 8 words held, 6 fit: drop one
+        kept = set(shard.ghost_ids.tolist())
+        # Both rounds-0 ghosts survive; the aged pair loses exactly one,
+        # picked by the seeded tie-break.
+        assert {30, 40} <= kept
+        aged = np.array([10, 20], dtype=np.int64)
+        loser = aged[np.argmax(_mix_ids(aged, _GHOST_CACHE_SEED))]
+        assert kept == {30, 40, 10, 20} - {int(loser)}
+
+    def test_budgeted_shard_never_caches(self):
+        shard = _Shard(0, 2, 10_000, cache_words=4096)
+        assert shard.cache_words == 0
+        shard.install_ghosts(*_slab({4: [1, 2]}))
+        assert shard.finish_round() == 1
+        assert len(shard.ghost_ids) == 0
+        assert shard.guard.current == 0
+
+    def test_mid_round_eviction_spares_cached_rows(self):
+        shard = _Shard(0, 4, None, cache_words=1 << 10)
+        shard.install_ghosts(*_slab({10: [1], 20: [2]}))
+        shard.finish_round()  # both now cached (rounds == 1)
+        shard.install_ghosts(*_slab({30: [3]}))
+        shard.evict_ghosts(pinned=np.zeros(0, dtype=np.int64))
+        # Invalidation rule 2: only the unpinned round-local fringe goes.
+        assert shard.ghost_ids.tolist() == [10, 20]
+
+
+class TestBudgetRollback:
+    def test_over_budget_slab_rejected_before_any_ghost_mutates(self):
+        shard = _Shard(0, 2, 30)
+        shard.install_ghosts(*_slab({4: [1, 2, 3]}))  # 4 words held
+        held_before = shard.guard.current
+        big = {v: list(range(10)) for v in range(6, 30, 2)}  # 132 words
+        with pytest.raises(MemoryGuardError):
+            shard.install_ghosts(*_slab(big))
+        # Store and accounting exactly as they were: no partial install,
+        # no guard drift — the caller can shed load without rollback.
+        assert shard.guard.current == held_before
+        assert shard.ghost_ids.tolist() == [4]
+        assert shard._fringe_words == 4
+        assert np.array_equal(shard.ghost_row(4), np.array([1, 2, 3]))
+        # A subsequent within-budget slab still lands cleanly.
+        shard.install_ghosts(*_slab({8: [5]}))
+        assert np.array_equal(shard.ghost_row(8), np.array([5]))
+
+    def test_guard_rollback_on_both_ghost_tags(self):
+        guard = MemoryGuard(10, name="t")
+        guard.account("ghost_cache", 8)
+        with pytest.raises(MemoryGuardError):
+            guard.account("ghost_cache", 12)
+        assert guard.current == 8 and guard.peak == 8
+        with pytest.raises(MemoryGuardError):
+            guard.account("ghost_fringe", 5)
+        assert guard.current == 8
+
+
+class TestRetirementPruneEquivalence:
+    def test_cached_rows_stay_verbatim_owner_copies(self):
+        rows = {2: [3, 5, 7], 4: [5], 6: [1, 3], 8: [9, 11]}
+        ids, lens, targets = _slab(rows)
+        offsets = np.zeros(len(ids) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        owner = _Shard(0, 2, None)
+        owner.install_owned(ids, offsets, targets)
+        holder = _Shard(1, 2, None, cache_words=1 << 10)
+        holder.install_ghosts(*owner.serve_rows(ids))
+        holder.finish_round()
+        assert (holder.ghost_rounds == 1).all()
+        # 4 and 8 are NOT retired, but lose every target — both sides
+        # must drop them (a row with no surviving target has residual
+        # degree 0 and leaves the owner partition); 2 loses one target.
+        retired = np.array([5, 9, 11], dtype=np.int64)
+        owner.retire(retired)
+        holder.retire(retired)
+        assert holder.ghost_ids.tolist() == [2, 6]
+        assert owner.row_ids.tolist() == [2, 6]
+        for v in holder.ghost_ids.tolist():
+            assert np.array_equal(holder.ghost_row(v), owner.owned_row(v))
+        assert np.array_equal(holder.ghost_row(2), np.array([3, 7]))
+
+
+class TestCacheDifferential:
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "compiled"])
+    def test_cache_toggle_never_changes_observables(self, engine):
+        g = _multi_round_graph()
+        oracle = beta_partition_ampc(g, 4, x=8, store="columnar",
+                                     engine=engine)
+        on = _partition(g, engine=engine, cache_words=1 << 16)
+        off = _partition(g, engine=engine, cache_words=0)
+        assert on.partition.layers == oracle.partition.layers
+        assert on.partition.layers == off.partition.layers
+        for ra, rb in zip(
+            off.simulator.stats.rounds, on.simulator.stats.rounds
+        ):
+            assert (ra.total_reads, ra.total_writes, ra.store_words) == (
+                rb.total_reads, rb.total_writes, rb.store_words
+            )
+        # The cache genuinely fires across rounds...
+        assert sum(c["ghost_cache_hits"] for c in on.round_comm) > 0
+        assert all(c["ghost_cache_hits"] == 0 for c in off.round_comm)
+        # ...and every hit is a row request the fabric no longer ships.
+        assert (
+            sum(c["row_requests"] for c in on.round_comm)
+            < sum(c["row_requests"] for c in off.round_comm)
+        )
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 8])
+    def test_pooled_matches_serial_with_cache_on(
+        self, shards, fresh_pool_env
+    ):
+        g = _multi_round_graph()
+        kw = dict(engine="compiled", shards=shards, cache_words=1 << 16)
+        serial = _partition(g, workers=1, **kw)
+        pooled = _partition(g, workers=2, **kw)
+        assert pooled.partition.layers == serial.partition.layers
+        # Cache decisions replicate exactly across the pool boundary:
+        # every hit/eviction/held-word counter, not just the results.
+        assert len(serial.round_comm) == len(pooled.round_comm)
+        for cs, cp in zip(serial.round_comm, pooled.round_comm):
+            assert _counts(cs) == _counts(cp)
+        assert pooled.max_held_words == serial.max_held_words
+
+    def test_budget_binds_with_cache_enabled(self):
+        g = union_of_random_forests(200, 1, seed=7)
+        with pytest.raises(MemoryGuardError):
+            beta_partition_ampc(
+                g, 3, x=4, store="columnar", transport="message",
+                shards=2, min_pool_games=1, shard_budget=50,
+                config=_cfg(1 << 16),
+            )
+
+    def test_budgeted_run_reports_zero_cache(self):
+        g = _multi_round_graph()
+        out = _partition(
+            g, engine="compiled", cache_words=1 << 16, shard_budget=10**6
+        )
+        ref = _partition(g, engine="compiled", cache_words=1 << 16)
+        # A budgeted shard never caches: identical observables, no cache
+        # counters, peaks within budget.
+        assert out.partition.layers == ref.partition.layers
+        assert all(c["ghost_cache_held_words"] == 0 for c in out.round_comm)
+        assert all(c["ghost_cache_hits"] == 0 for c in out.round_comm)
+        assert out.max_held_words <= 10**6

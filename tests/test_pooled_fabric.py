@@ -35,7 +35,10 @@ from repro.core.beta_partition_ampc import beta_partition_ampc
 from repro.graphs.generators import random_gnm, union_of_random_forests
 
 # Keys whose values are wall-clock measurements, not protocol counts.
-_TIMING_KEYS = ("shard_wall_s", "comm_overlap_s")
+_TIMING_KEYS = (
+    "shard_wall_s", "comm_overlap_s",
+    "serve_s", "install_s", "compact_s", "play_s",
+)
 
 
 def _graph():
@@ -165,6 +168,22 @@ class TestPooledFaults:
         # The recovered pool stays alive (that's the point); the fixture
         # asserts no orphans survive close_shared_pools().
         assert _shm_segments() <= before  # no orphaned segments
+
+    def test_slab_corruption_is_recovered_bit_identically(
+        self, fresh_pool_env
+    ):
+        # A "slab" fault corrupts one served row slab inside the worker
+        # *after* its checksum is stamped, so install_ghosts' verify
+        # rejects the attempt before any ghost mutates and the retry
+        # replays the whole chain clean.
+        g = _graph()
+        with faults.inject(FaultPlan(kinds=("slab",), **_FIRST_ATTEMPT)):
+            out = _partition(g, engine="compiled", workers=2, shards=3)
+        ref = _partition(g, engine="compiled", workers=1, shards=3)
+        assert out.partition.layers == ref.partition.layers
+        for cs, cp in zip(ref.round_comm, out.round_comm):
+            assert _counts(cs) == _counts(cp)
+        assert out.round_recovery["retries"] > 0
 
     def test_worker_death_is_recovered_and_cleans_up(self, fresh_pool_env):
         g = _graph()
